@@ -1,0 +1,82 @@
+// F11 — phase-2 ablation: what the reverse-stack order buys.  Lemma 3.1
+// hinges on popping the raise stack in *reverse*: every raised instance
+// then either survives or is blocked by a successor, which is what turns
+// the dual assignment into a profit bound.  Replaying the same stack
+// forward, or greedily by profit, has no such guarantee — this bench
+// measures how much quality that costs on identical stacks.
+#include "bench_util.hpp"
+#include "decomp/layered.hpp"
+#include "dist/luby_mis.hpp"
+#include "framework/two_phase.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+int main() {
+  print_claim("F11  phase-2 prune-order ablation (Lemma 3.1)",
+              "reverse-stack pruning carries the (Delta+1)/lambda "
+              "guarantee; forward-stack and profit-greedy pruning of the "
+              "same raised set do not — and measurably lose profit");
+
+  Table table("F11  same stacks, three pruners (n=64, m=80, 15 seeds)");
+  table.set_header({"heights", "pruner", "profit(mean)",
+                    "vs reverse(mean)", "worst case vs reverse"});
+
+  for (const HeightLaw heights : {HeightLaw::kUnit, HeightLaw::kBimodal}) {
+    RunningStats rev, fwd, greedy, fwd_ratio, greedy_ratio;
+    double fwd_worst = 1.0, greedy_worst = 1.0;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      TreeScenarioSpec spec;
+      spec.num_vertices = 64;
+      spec.num_networks = 2;
+      spec.demands.num_demands = 80;
+      spec.demands.heights = heights;
+      spec.demands.profit_max = 64.0;
+      spec.seed = seed * 11 + 7;
+      const Problem p = make_tree_problem(spec);
+      const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+      SolverConfig config;
+      config.epsilon = 0.1;
+      config.rule = p.unit_height() ? RaiseRuleKind::kUnit
+                                    : RaiseRuleKind::kNarrow;
+      config.keep_stack = true;
+      LubyMis oracle(p, seed);
+      const SolveResult run = solve_with_plan(p, plan, config, &oracle);
+
+      const double reverse_profit = checked_profit(p, run.solution);
+      const Solution forward = prune_stack_forward(p, run.raise_stack);
+      const double forward_profit = checked_profit(p, forward);
+      std::vector<InstanceId> raised;
+      for (const auto& level : run.raise_stack)
+        raised.insert(raised.end(), level.begin(), level.end());
+      const Solution by_profit = prune_by_profit(p, std::move(raised));
+      const double greedy_profit = checked_profit(p, by_profit);
+
+      rev.add(reverse_profit);
+      fwd.add(forward_profit);
+      greedy.add(greedy_profit);
+      fwd_ratio.add(forward_profit / reverse_profit);
+      greedy_ratio.add(greedy_profit / reverse_profit);
+      fwd_worst = std::min(fwd_worst, forward_profit / reverse_profit);
+      greedy_worst = std::min(greedy_worst, greedy_profit / reverse_profit);
+    }
+    const char* hname = heights == HeightLaw::kUnit ? "unit" : "bimodal";
+    table.add_row({hname, "reverse stack (Lemma 3.1)", fmt(rev.mean(), 1),
+                   "1.000", "1.000"});
+    table.add_row({hname, "forward stack", fmt(fwd.mean(), 1),
+                   fmt(fwd_ratio.mean(), 3), fmt(fwd_worst, 3)});
+    table.add_row({hname, "profit-greedy", fmt(greedy.mean(), 1),
+                   fmt(greedy_ratio.mean(), 3), fmt(greedy_worst, 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nexpected shape: forward pruning is uniformly worse (it "
+              "keeps early low-profit raises that block later high-profit "
+              "ones — the failure Lemma 3.1's ordering prevents; worst "
+              "case ~0.72x).  Profit-greedy is a strong heuristic on "
+              "average but drops below reverse-stack on some seeds and "
+              "carries no worst-case guarantee; reverse-stack is the only "
+              "pruner with the proven (Delta+1)/lambda bound.\n");
+  return 0;
+}

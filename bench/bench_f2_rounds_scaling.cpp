@@ -1,0 +1,104 @@
+// F2 — Theorem 5.3 round complexity: communication rounds grow with
+// log n (epochs = decomposition depth) for fixed eps and profit range.
+// The series reports rounds vs n and the regression of rounds against
+// log2 n; a strongly super-logarithmic trend would break the claim.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "decomp/layered.hpp"
+#include "dist/luby_mis.hpp"
+#include "dist/scheduler.hpp"
+#include "framework/two_phase.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+int main() {
+  print_claim("F2  rounds vs n (Thm 5.3)",
+              "rounds = O(T_MIS * log n * log(1/eps) * log(pmax/pmin)): "
+              "for fixed eps and profit range, rounds scale with log n");
+
+  Table table("F2  rounds vs n (m = 3n/4 demands, eps = 0.2, 3 seeds)");
+  table.set_header({"n", "epochs(mean)", "steps(mean)", "mis-rounds(mean)",
+                    "comm-rounds(mean)", "rounds/log2(n)"});
+  std::vector<double> xs, ys;
+  for (int n : {64, 128, 256, 512, 1024, 2048}) {
+    RunningStats epochs, steps, mis, rounds;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      TreeScenarioSpec spec;
+      spec.num_vertices = n;
+      spec.num_networks = 2;
+      spec.demands.num_demands = 3 * n / 4;
+      spec.demands.profit_max = 16.0;
+      spec.seed = seed * 100 + static_cast<std::uint64_t>(n);
+      const Problem p = make_tree_problem(spec);
+      DistOptions options;
+      options.epsilon = 0.2;
+      options.seed = seed;
+      const DistResult r = solve_tree_unit_distributed(p, options);
+      checked_profit(p, r.solution);
+      epochs.add(r.stats.epochs);
+      steps.add(r.stats.steps);
+      mis.add(static_cast<double>(r.stats.mis_rounds));
+      rounds.add(static_cast<double>(r.stats.comm_rounds));
+    }
+    const double log2n = std::log2(static_cast<double>(n));
+    xs.push_back(log2n);
+    ys.push_back(rounds.mean());
+    table.add_row({std::to_string(n), fmt(epochs.mean(), 1),
+                   fmt(steps.mean(), 1), fmt(mis.mean(), 1),
+                   fmt(rounds.mean(), 1), fmt(rounds.mean() / log2n, 1)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nlinear fit of comm-rounds against log2(n): slope %.1f, "
+              "correlation %.3f\n", regression_slope(xs, ys),
+              correlation(xs, ys));
+
+  // F2b: the price of zero global knowledge.  The adaptive schedule ends
+  // a stage the moment U is empty (an idealization); the lockstep
+  // schedule runs the fixed Lemma 5.1 budget everywhere — what a real
+  // deployment without global tests pays.  Both remain polylog.
+  Table lock("F2b  adaptive vs lockstep schedule (eps = 0.2, 3 seeds)");
+  lock.set_header({"n", "adaptive rounds", "lockstep rounds", "overhead",
+                   "lockstep lambda ok"});
+  for (int n : {128, 512, 2048}) {
+    RunningStats adaptive, lockstep;
+    bool ok = true;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      TreeScenarioSpec spec;
+      spec.num_vertices = n;
+      spec.num_networks = 2;
+      spec.demands.num_demands = 3 * n / 4;
+      spec.demands.profit_max = 16.0;
+      spec.seed = seed * 100 + static_cast<std::uint64_t>(n);
+      const Problem p = make_tree_problem(spec);
+      const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+      for (const bool locked : {false, true}) {
+        SolverConfig config;
+        config.epsilon = 0.2;
+        config.lockstep = locked;
+        LubyMis oracle(p, seed);
+        const SolveResult r = solve_with_plan(p, plan, config, &oracle);
+        checked_profit(p, r.solution);
+        (locked ? lockstep : adaptive)
+            .add(static_cast<double>(r.stats.comm_rounds));
+        if (locked)
+          ok = ok && r.stats.lockstep_ok &&
+               r.stats.lambda_observed >= 0.8 - 1e-6;
+      }
+    }
+    lock.add_row({std::to_string(n), fmt(adaptive.mean(), 0),
+                  fmt(lockstep.mean(), 0),
+                  fmt(lockstep.mean() / adaptive.mean(), 1),
+                  ok ? "yes" : "NO"});
+  }
+  lock.print(std::cout);
+  std::printf("expected shape: rounds grow polylogarithmically — near-"
+              "linear in log2(n) (correlation ~1), with mild extra growth "
+              "from the T_MIS = O(log N) factor (N = m*r grows with n "
+              "here); a 32x larger instance should cost only ~4x the "
+              "rounds.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// F3 — Lemma 5.1 / Claim 5.2: within a stage, every kill chain doubles
+// profits, so a stage runs at most ~1 + log2(pmax/pmin) steps.  The
+// series sweeps the profit range and reports the worst stage observed
+// against that budget.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "dist/scheduler.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+int main() {
+  print_claim("F3  steps per stage vs profit range (Lemma 5.1)",
+              "kill chains double profits (Claim 5.2), so steps per stage "
+              "<= 1 + log2(pmax/pmin); total steps scale with log(p)");
+
+  Table table("F3  profit-range sweep (n=128, m=96, eps=0.2, 4 seeds)");
+  table.set_header({"pmax/pmin", "log2", "worst stage steps(max)",
+                    "budget 1+log2(p)", "total steps(mean)",
+                    "comm-rounds(mean)"});
+  std::vector<double> xs, ys;
+  for (double pmax : {1.5, 4.0, 16.0, 256.0, 4096.0}) {
+    RunningStats worst_stage, steps, rounds;
+    double observed_range = 0.0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      TreeScenarioSpec spec;
+      spec.num_vertices = 128;
+      spec.num_networks = 2;
+      spec.demands.num_demands = 96;
+      spec.demands.profit_max = pmax;
+      spec.seed = seed * 31 + static_cast<std::uint64_t>(pmax);
+      const Problem p = make_tree_problem(spec);
+      observed_range =
+          std::max(observed_range, p.max_profit() / p.min_profit());
+      DistOptions options;
+      options.epsilon = 0.2;
+      options.seed = seed;
+      const DistResult r = solve_tree_unit_distributed(p, options);
+      checked_profit(p, r.solution);
+      worst_stage.add(r.stats.max_steps_in_stage);
+      steps.add(r.stats.steps);
+      rounds.add(static_cast<double>(r.stats.comm_rounds));
+    }
+    const double log2p = std::log2(observed_range);
+    xs.push_back(log2p);
+    ys.push_back(steps.mean());
+    table.add_row({fmt(observed_range, 1), fmt(log2p, 1),
+                   fmt(worst_stage.max(), 0), fmt(1.0 + log2p, 1),
+                   fmt(steps.mean(), 1), fmt(rounds.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nlinear fit of total steps against log2(pmax/pmin): slope "
+              "%.2f, correlation %.3f\n", regression_slope(xs, ys),
+              correlation(xs, ys));
+  std::printf("expected shape: worst stage steps stays within its budget "
+              "at every profit range; total steps grow ~linearly in "
+              "log2(p).\n");
+  return 0;
+}

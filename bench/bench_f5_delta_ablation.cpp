@@ -1,0 +1,74 @@
+// F5 — why the ideal decomposition matters: driving the same two-phase
+// engine with the three decompositions trades the critical-set size Delta
+// (approximation bound (Delta+1)/lambda) against the decomposition depth
+// (epochs, hence rounds).  Only the ideal decomposition keeps both small:
+// Delta = 6 and depth 2 log n — the paper's central design point.
+#include "bench_util.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "dist/scheduler.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+int main() {
+  print_claim("F5  decomposition ablation (Sections 4-5)",
+              "root-fixing: Delta<=4 but depth ~n (epochs explode on deep "
+              "trees); balancing: log depth but Delta ~2 log n (bound "
+              "explodes); ideal: Delta=6 AND depth 2 log n");
+
+  const double eps = 0.1;
+  for (TreeShape shape : {TreeShape::kPath, TreeShape::kCaterpillar,
+                          TreeShape::kRandomAttachment}) {
+    Table table(std::string("F5  engine driven by each decomposition — ") +
+                to_string(shape) + " (n=256, m=160, 3 seeds)");
+    table.set_header({"decomposition", "Delta(obs)", "Delta(worst) 2(th+1)",
+                      "epochs(mean)", "comm-rounds(mean)",
+                      "worst-case bound", "cert-gap(mean)"});
+    for (DecompKind kind : {DecompKind::kRootFixing, DecompKind::kBalancing,
+                            DecompKind::kIdeal}) {
+      RunningStats epochs, rounds, cert;
+      int delta = 0;
+      int worst_delta = 0;  // 2 (theta + 1) over the built decompositions
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        TreeScenarioSpec spec;
+        spec.shape = shape;
+        spec.num_vertices = 256;
+        spec.num_networks = 2;
+        spec.demands.num_demands = 160;
+        spec.demands.profit_max = 32.0;
+        spec.seed = seed * 17 + 3;
+        const Problem p = make_tree_problem(spec);
+        for (NetworkId q = 0; q < p.num_networks(); ++q) {
+          const TreeDecomposition d = build_decomposition(p.network(q), kind);
+          worst_delta = std::max(worst_delta, 2 * (d.pivot_size() + 1));
+        }
+        DistOptions options;
+        options.epsilon = eps;
+        options.decomp = kind;
+        options.seed = seed;
+        const DistResult r = solve_tree_unit_distributed(p, options);
+        const Profit profit = checked_profit(p, r.solution);
+        epochs.add(r.stats.epochs);
+        rounds.add(static_cast<double>(r.stats.comm_rounds));
+        cert.add(ratio(r.stats.dual_upper_bound, profit));
+        delta = std::max(delta, r.stats.delta);
+      }
+      table.add_row({to_string(kind), std::to_string(delta),
+                     std::to_string(worst_delta), fmt(epochs.mean(), 0),
+                     fmt(rounds.mean(), 0),
+                     fmt((worst_delta + 1.0) / (1.0 - eps), 1),
+                     fmt(cert.mean(), 3)});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\nexpected shape: on paths/caterpillars root-fixing runs "
+              "~n/2 epochs (an order of magnitude more rounds); on random "
+              "trees the balancing decomposition's worst-case Delta = "
+              "2(theta+1) exceeds the ideal's 6 (its guarantee degrades "
+              "with log n) while ideal keeps worst-case Delta <= 6 AND "
+              "log-depth — the Lemma 4.1 tradeoff made visible end to "
+              "end.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// F6 — the slackness ablation (Remark after Theorem 5.3): the multi-stage
+// schedule drives lambda to 1-eps where the PS single-stage schedule
+// stops at 1/(5+eps).  Same engine, same decomposition, same MIS — only
+// the stage thresholds differ.  The price is more stages (rounds); the
+// payoff is a 5x better guarantee and a visibly tighter certificate.
+#include "bench_util.hpp"
+#include "dist/scheduler.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+int main() {
+  print_claim("F6  slackness ablation: multi-stage vs PS single-stage",
+              "multi-stage: lambda = 1-eps -> (Delta+1)/(1-eps); PS: "
+              "lambda = 1/(5+eps) -> (Delta+1)(5+eps); measured lambda and "
+              "certificates should match those targets");
+
+  const double eps = 0.1;
+  Table table("F6a  measured slackness and quality (n=20 exact, 15 seeds)");
+  table.set_header({"schedule", "lambda_obs(min)", "ratio(mean)",
+                    "ratio(worst)", "cert-gap(mean)", "rounds(mean)"});
+  for (const bool ps : {false, true}) {
+    RunningStats lambda, ratio_opt, cert, rounds;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      TreeScenarioSpec spec;
+      spec.num_vertices = 20;
+      spec.num_networks = 2;
+      spec.demands.num_demands = 9;
+      spec.demands.profit_max = 64.0;
+      spec.seed = seed * 7 + 1;
+      const Problem p = make_tree_problem(spec);
+      const ExactResult exact = solve_exact(p);
+      DistOptions options;
+      options.epsilon = eps;
+      options.seed = seed;
+      options.stage_mode = ps ? StageMode::kSingleStagePS
+                              : StageMode::kMultiStage;
+      const DistResult r = solve_tree_unit_distributed(p, options);
+      const Profit profit = checked_profit(p, r.solution);
+      lambda.add(r.stats.lambda_observed);
+      ratio_opt.add(ratio(exact.profit, profit));
+      cert.add(ratio(r.stats.dual_upper_bound, profit));
+      rounds.add(static_cast<double>(r.stats.comm_rounds));
+    }
+    table.add_row({ps ? "PS single-stage" : "multi-stage (ours)",
+                   fmt(lambda.min(), 3), fmt(ratio_opt.mean(), 3),
+                   fmt(ratio_opt.max(), 3), fmt(cert.mean(), 3),
+                   fmt(rounds.mean(), 0)});
+  }
+  table.print(std::cout);
+
+  // The xi knob: sweeping xi shows the stage/quality tradeoff directly.
+  Table knob("F6b  xi override sweep (multi-stage, n=128 m=96, certified)");
+  knob.set_header({"xi", "stages/epoch", "comm-rounds", "lambda_obs",
+                   "cert-gap"});
+  for (double xi : {0.75, 0.875, 14.0 / 15.0, 0.97}) {
+    TreeScenarioSpec spec;
+    spec.num_vertices = 128;
+    spec.num_networks = 2;
+    spec.demands.num_demands = 96;
+    spec.demands.profit_max = 32.0;
+    spec.seed = 11;
+    const Problem p = make_tree_problem(spec);
+    const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+    SolverConfig config;
+    config.epsilon = eps;
+    config.xi_override = xi;
+    const SolveResult r = solve_with_plan(p, plan, config);
+    const Profit profit = checked_profit(p, r.solution);
+    knob.add_row({fmt(xi, 3), std::to_string(r.stats.stages_per_epoch),
+                  std::to_string(r.stats.comm_rounds),
+                  fmt(r.stats.lambda_observed, 3),
+                  fmt(ratio(r.stats.dual_upper_bound, profit), 3)});
+  }
+  knob.print(std::cout);
+
+  std::printf("\nexpected shape: multi-stage lambda_obs >= 0.9 vs PS ~0.2; "
+              "PS cheaper in rounds; larger xi buys more stages for a "
+              "tighter lambda (the paper's second technical "
+              "contribution).\n");
+  return 0;
+}

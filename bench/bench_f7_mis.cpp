@@ -1,0 +1,143 @@
+// F7 — distributed MIS: Luby's iteration count grows with log N
+// (Section 5's T_MIS factor), plus google-benchmark microbenchmarks of
+// the performance-critical kernels (Luby MIS, greedy MIS, ideal
+// decomposition construction, path extraction, end-to-end solve).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "dist/luby_mis.hpp"
+#include "dist/scheduler.hpp"
+#include "framework/two_phase.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+
+namespace {
+
+Problem scaled_problem(int m, std::uint64_t seed) {
+  TreeScenarioSpec spec;
+  spec.num_vertices = std::max(32, m / 2);
+  spec.num_networks = 2;
+  spec.demands.num_demands = m;
+  spec.demands.profit_max = 16.0;
+  spec.seed = seed;
+  return make_tree_problem(spec);
+}
+
+std::vector<InstanceId> all_instances(const Problem& p) {
+  std::vector<InstanceId> all(static_cast<std::size_t>(p.num_instances()));
+  for (InstanceId i = 0; i < p.num_instances(); ++i)
+    all[static_cast<std::size_t>(i)] = i;
+  return all;
+}
+
+// The log N series printed before the timing benchmarks.
+void print_luby_series() {
+  std::printf("========================================================\n");
+  std::printf("F7  Luby MIS iterations vs candidate count (expected: "
+              "~log N growth)\n");
+  std::printf("========================================================\n");
+  Table table("F7a  Luby iterations (5 seeds per N)");
+  table.set_header({"N(candidates)", "iterations(mean)", "iterations(max)",
+                    "iters/log2(N)"});
+  std::vector<double> xs, ys;
+  for (int m : {50, 100, 200, 400, 800, 1600}) {
+    RunningStats iters;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const Problem p = scaled_problem(m, seed * 19 + 1);
+      LubyMis mis(p, seed);
+      const auto candidates = all_instances(p);
+      const MisResult r = mis.run(candidates);
+      iters.add(static_cast<double>(r.rounds) / 2.0);
+    }
+    const double n_candidates = 2.0 * m;  // two networks
+    xs.push_back(std::log2(n_candidates));
+    ys.push_back(iters.mean());
+    table.add_row({fmt(n_candidates, 0), fmt(iters.mean(), 1),
+                   fmt(iters.max(), 0),
+                   fmt(iters.mean() / std::log2(n_candidates), 2)});
+  }
+  table.print(std::cout);
+  std::printf("linear fit of iterations vs log2(N): slope %.2f, "
+              "correlation %.3f\n\n", regression_slope(xs, ys),
+              correlation(xs, ys));
+}
+
+void BM_LubyMis(benchmark::State& state) {
+  const Problem p = scaled_problem(static_cast<int>(state.range(0)), 3);
+  const auto candidates = all_instances(p);
+  LubyMis mis(p, 7);
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    const MisResult r = mis.run(candidates);
+    rounds += r.rounds;
+    benchmark::DoNotOptimize(r.selected.data());
+  }
+  state.counters["luby_rounds/iter"] =
+      static_cast<double>(rounds) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_LubyMis)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_GreedyMis(benchmark::State& state) {
+  const Problem p = scaled_problem(static_cast<int>(state.range(0)), 3);
+  const auto candidates = all_instances(p);
+  GreedyMis mis(p);
+  for (auto _ : state) {
+    const MisResult r = mis.run(candidates);
+    benchmark::DoNotOptimize(r.selected.data());
+  }
+}
+BENCHMARK(BM_GreedyMis)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_IdealDecomposition(benchmark::State& state) {
+  Rng rng(5);
+  const TreeNetwork t = make_tree(TreeShape::kRandomAttachment,
+                                  static_cast<VertexId>(state.range(0)),
+                                  rng);
+  for (auto _ : state) {
+    const TreeDecomposition h = build_ideal(t);
+    benchmark::DoNotOptimize(h.max_depth());
+  }
+}
+BENCHMARK(BM_IdealDecomposition)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PathExtraction(benchmark::State& state) {
+  Rng rng(9);
+  const TreeNetwork t = make_tree(TreeShape::kRandomAttachment, 4096, rng);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto u = static_cast<VertexId>((x >> 20) % 4096);
+    const auto v = static_cast<VertexId>((x >> 40) % 4096);
+    benchmark::DoNotOptimize(t.path_edges(u, v).size());
+  }
+}
+BENCHMARK(BM_PathExtraction);
+
+void BM_EndToEndSolve(benchmark::State& state) {
+  const Problem p = scaled_problem(static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    DistOptions options;
+    options.epsilon = 0.2;
+    const DistResult r = solve_tree_unit_distributed(p, options);
+    benchmark::DoNotOptimize(r.profit);
+  }
+}
+BENCHMARK(BM_EndToEndSolve)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_luby_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

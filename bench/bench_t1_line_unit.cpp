@@ -1,0 +1,101 @@
+// T1 — Theorem 7.1: distributed scheduling on line networks with windows,
+// unit heights.  Our multi-stage algorithm guarantees (4+eps); the
+// Panconesi-Sozio single-stage baseline guarantees (20+eps); the
+// sequential end-time algorithm guarantees 2.  The table reports measured
+// ratios against the exact optimum (small workloads) and against the
+// certified dual bound (large workloads), plus round counts.
+#include "bench_util.hpp"
+#include "dist/scheduler.hpp"
+#include "seq/sequential.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+namespace {
+
+Problem make(std::uint64_t seed, bool large) {
+  LineScenarioSpec spec;
+  spec.line.num_slots = large ? 200 : 24;
+  spec.line.num_resources = large ? 3 : 2;
+  spec.line.num_demands = large ? 180 : 8;
+  spec.line.max_proc_time = large ? 24 : 8;
+  spec.line.window_slack = 2.0;
+  spec.line.heights = HeightLaw::kUnit;
+  spec.line.profit_max = 100.0;
+  spec.seed = seed;
+  return make_line_problem(spec);
+}
+
+}  // namespace
+
+int main() {
+  print_claim("T1  line networks + windows, unit heights",
+              "Thm 7.1: (4+eps)-approx in O(T_MIS log(1/eps) log(L) log(p)) "
+              "rounds; PS baseline: (20+eps); sequential end-time: 2");
+
+  const double eps = 0.1;
+  Aggregate ours, ps, seq;
+
+  // Small workloads: exact optimum available.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Problem p = make(seed, /*large=*/false);
+    const ExactResult exact = solve_exact(p);
+    DistOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+
+    const DistResult a = solve_line_unit_distributed(p, options);
+    ours.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, a.solution)));
+    ours.ratio_vs_cert.add(ratio(a.stats.dual_upper_bound, a.profit));
+    ours.rounds.add(static_cast<double>(a.stats.comm_rounds));
+
+    DistOptions ps_options = options;
+    ps_options.stage_mode = StageMode::kSingleStagePS;
+    const DistResult b = solve_line_unit_distributed(p, ps_options);
+    ps.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, b.solution)));
+    ps.ratio_vs_cert.add(ratio(b.stats.dual_upper_bound, b.profit));
+    ps.rounds.add(static_cast<double>(b.stats.comm_rounds));
+
+    const SeqResult c = solve_line_unit_sequential(p);
+    seq.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, c.solution)));
+    seq.ratio_vs_cert.add(ratio(c.stats.dual_upper_bound, c.profit));
+    seq.rounds.add(static_cast<double>(c.stats.steps));
+  }
+
+  Table small("T1a  small workloads (24 slots, 8 jobs, exact OPT, 20 seeds)");
+  small.set_header(Aggregate::header());
+  ours.row(small, "multi-stage distributed (ours)", 4.0 / (1.0 - eps));
+  ps.row(small, "PS single-stage (baseline)", 4.0 * (5.0 + eps));
+  seq.row(small, "sequential end-time", 2.0);
+  small.print(std::cout);
+
+  // Large workloads: certified dual bound only.
+  Aggregate lours, lps;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Problem p = make(seed + 100, /*large=*/true);
+    DistOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    const DistResult a = solve_line_unit_distributed(p, options);
+    lours.ratio_vs_cert.add(
+        ratio(a.stats.dual_upper_bound, checked_profit(p, a.solution)));
+    lours.rounds.add(static_cast<double>(a.stats.comm_rounds));
+    DistOptions ps_options = options;
+    ps_options.stage_mode = StageMode::kSingleStagePS;
+    const DistResult b = solve_line_unit_distributed(p, ps_options);
+    lps.ratio_vs_cert.add(
+        ratio(b.stats.dual_upper_bound, checked_profit(p, b.solution)));
+    lps.rounds.add(static_cast<double>(b.stats.comm_rounds));
+  }
+  Table large(
+      "T1b  large workloads (200 slots, 180 jobs, certified bound, 5 seeds)");
+  large.set_header(Aggregate::header());
+  lours.row(large, "multi-stage distributed (ours)", 4.0 / (1.0 - eps));
+  lps.row(large, "PS single-stage (baseline)", 4.0 * (5.0 + eps));
+  large.print(std::cout);
+
+  std::printf("\nexpected shape: every measured ratio under its proven "
+              "bound; ours well below PS; PS uses fewer rounds.\n");
+  return 0;
+}

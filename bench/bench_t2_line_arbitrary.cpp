@@ -1,0 +1,90 @@
+// T2 — Theorem 7.2: line networks with windows, arbitrary heights.
+// Ours: (23+eps) via wide (4+eps) + narrow (19+eps) combination; the
+// PS-style single-stage run of the same split gives the baseline; the
+// sequential end-time split gives the classical Bar-Noy 5-approx.
+#include "bench_util.hpp"
+#include "dist/scheduler.hpp"
+#include "seq/sequential.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+namespace {
+
+Problem make(std::uint64_t seed, bool large) {
+  LineScenarioSpec spec;
+  spec.line.num_slots = large ? 200 : 24;
+  spec.line.num_resources = large ? 3 : 2;
+  spec.line.num_demands = large ? 180 : 8;
+  spec.line.max_proc_time = large ? 20 : 8;
+  spec.line.window_slack = 1.8;
+  spec.line.heights = HeightLaw::kBimodal;
+  spec.line.height_min = 0.15;
+  spec.line.profit_max = 100.0;
+  spec.seed = seed;
+  return make_line_problem(spec);
+}
+
+}  // namespace
+
+int main() {
+  print_claim("T2  line networks + windows, arbitrary heights",
+              "Thm 7.2: (23+eps)-approx (wide 4+eps, narrow 19+eps); "
+              "sequential split: 5 (Bar-Noy); PS-style single stage as "
+              "baseline");
+
+  const double eps = 0.1;
+  Aggregate ours, ps, seq;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Problem p = make(seed, /*large=*/false);
+    const ExactResult exact = solve_exact(p);
+    DistOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+
+    const DistResult a = solve_line_arbitrary_distributed(p, options);
+    ours.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, a.solution)));
+    ours.ratio_vs_cert.add(ratio(a.stats.dual_upper_bound, a.profit));
+    ours.rounds.add(static_cast<double>(a.stats.comm_rounds));
+
+    DistOptions ps_options = options;
+    ps_options.stage_mode = StageMode::kSingleStagePS;
+    const DistResult b = solve_line_arbitrary_distributed(p, ps_options);
+    ps.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, b.solution)));
+    ps.ratio_vs_cert.add(ratio(b.stats.dual_upper_bound, b.profit));
+    ps.rounds.add(static_cast<double>(b.stats.comm_rounds));
+
+    const SeqResult c = solve_line_arbitrary_sequential(p);
+    seq.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, c.solution)));
+    seq.ratio_vs_cert.add(ratio(c.stats.dual_upper_bound, c.profit));
+    seq.rounds.add(static_cast<double>(c.stats.steps));
+  }
+
+  Table small("T2a  small workloads (exact OPT, 20 seeds)");
+  small.set_header(Aggregate::header());
+  ours.row(small, "multi-stage split (ours)", 23.0 / (1.0 - eps));
+  ps.row(small, "PS-style single-stage split", (4.0 + 19.0) * (5.0 + eps));
+  seq.row(small, "sequential split (Bar-Noy)", 5.0);
+  small.print(std::cout);
+
+  Aggregate lours;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Problem p = make(seed + 50, /*large=*/true);
+    DistOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    const DistResult a = solve_line_arbitrary_distributed(p, options);
+    lours.ratio_vs_cert.add(
+        ratio(a.stats.dual_upper_bound, checked_profit(p, a.solution)));
+    lours.rounds.add(static_cast<double>(a.stats.comm_rounds));
+  }
+  Table large("T2b  large workloads (certified bound, 5 seeds)");
+  large.set_header(Aggregate::header());
+  lours.row(large, "multi-stage split (ours)", 23.0 / (1.0 - eps));
+  large.print(std::cout);
+
+  std::printf("\nexpected shape: measured ratios ~1.1-2.5, far below the "
+              "worst-case 23+eps; certificate gap modest.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// T4 — Theorem 6.3: tree networks with arbitrary heights.  The combined
+// algorithm (wide via unit rule 7+eps, narrow via the modified rule
+// 73+eps, per-network better-of) guarantees (80+eps).  The table breaks
+// the run into its wide/narrow parts and compares against the exact
+// optimum on small workloads.
+#include "bench_util.hpp"
+#include "decomp/layered.hpp"
+#include "dist/luby_mis.hpp"
+#include "dist/scheduler.hpp"
+#include "seq/sequential.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+namespace {
+
+Problem make(std::uint64_t seed, bool large, double hmin) {
+  TreeScenarioSpec spec;
+  spec.num_vertices = large ? 400 : 20;
+  spec.num_networks = 2;
+  spec.demands.num_demands = large ? 260 : 9;
+  spec.demands.heights = HeightLaw::kBimodal;
+  spec.demands.height_min = hmin;
+  spec.demands.profit_max = 100.0;
+  spec.seed = seed;
+  return make_tree_problem(spec);
+}
+
+}  // namespace
+
+int main() {
+  print_claim("T4  tree networks, arbitrary heights",
+              "Thm 6.3: (80+eps)-approx = wide (7+eps) + narrow (73+eps), "
+              "combined by per-network better-of; rounds gain a 1/h_min "
+              "factor");
+
+  const double eps = 0.1;
+  Aggregate ours, seq;
+  RunningStats wide_share;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Problem p = make(seed, /*large=*/false, 0.15);
+    const ExactResult exact = solve_exact(p);
+    DistOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    const DistResult a = solve_tree_arbitrary_distributed(p, options);
+    const Profit profit = checked_profit(p, a.solution);
+    ours.ratio_vs_opt.add(ratio(exact.profit, profit));
+    ours.ratio_vs_cert.add(ratio(a.stats.dual_upper_bound, profit));
+    ours.rounds.add(static_cast<double>(a.stats.comm_rounds));
+    double wide_profit = 0.0;
+    for (InstanceId i : a.solution.selected)
+      if (p.instance(i).height > 0.5) wide_profit += p.instance(i).profit;
+    wide_share.add(profit > 0 ? wide_profit / profit : 0.0);
+
+    const SeqResult c = solve_tree_arbitrary_sequential(p);
+    seq.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, c.solution)));
+    seq.ratio_vs_cert.add(ratio(c.stats.dual_upper_bound, c.profit));
+    seq.rounds.add(static_cast<double>(c.stats.steps));
+  }
+
+  Table small("T4a  small workloads (exact OPT, 20 seeds)");
+  small.set_header(Aggregate::header());
+  ours.row(small, "distributed wide+narrow (ours)", 80.0 / (1.0 - eps));
+  seq.row(small, "sequential wide+narrow split", 12.0);
+  small.print(std::cout);
+  std::printf("wide instances carry %.0f%% of the scheduled profit on "
+              "average.\n\n", 100.0 * wide_share.mean());
+
+  // h_min sensitivity on larger workloads: rounds scale ~ 1/h_min.
+  Table hmin_table("T4b  h_min sensitivity (n=400, m=260, certified)");
+  hmin_table.set_header({"h_min", "stages/epoch", "steps", "comm-rounds",
+                         "cert-gap"});
+  for (double hmin : {0.4, 0.2, 0.1, 0.05}) {
+    const Problem p = make(77, /*large=*/true, hmin);
+    DistOptions options;
+    options.epsilon = eps;
+    const DistResult a = solve_tree_arbitrary_distributed(p, options);
+    const Profit profit = checked_profit(p, a.solution);
+    hmin_table.add_row({fmt(hmin, 2),
+                        std::to_string(a.stats.stages_per_epoch),
+                        std::to_string(a.stats.steps),
+                        std::to_string(a.stats.comm_rounds),
+                        fmt(ratio(a.stats.dual_upper_bound, profit), 3)});
+  }
+  hmin_table.print(std::cout);
+
+  std::printf("\nexpected shape: measured ratios ~1.2-3 (bound 88.9); "
+              "stages per epoch grow ~1/h_min as in Thm 6.3's round "
+              "formula.\n");
+  return 0;
+}

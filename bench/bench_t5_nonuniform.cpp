@@ -1,0 +1,143 @@
+// T5 — non-uniform bandwidths (the IPDPS 2013 title extension,
+// reconstructed in DESIGN.md Section 6).  Sweeps the capacity spread and
+// compares three arms: capacity-aware raises (ours), the paper's uniform
+// raises applied verbatim ("naive"), and per-bottleneck-class solving.
+// Also includes the all-narrow regime under the strong NBA.
+#include "bench_util.hpp"
+#include "capacity/nonuniform.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+namespace {
+
+Problem make(std::uint64_t seed, double spread, HeightLaw heights, bool large,
+             CapacityLaw law) {
+  TreeScenarioSpec spec;
+  spec.num_vertices = large ? 300 : 20;
+  spec.num_networks = 2;
+  spec.demands.num_demands = large ? 240 : 9;
+  spec.demands.heights = heights;
+  spec.demands.height_min = 0.15;
+  spec.demands.profit_max = 100.0;
+  spec.capacities = spread > 1.0 ? law : CapacityLaw::kUniform;
+  spec.capacity_base = 1.0;
+  spec.capacity_spread = spread;
+  spec.seed = seed;
+  return make_tree_problem(spec);
+}
+
+}  // namespace
+
+int main() {
+  print_claim("T5  non-uniform bandwidths (2013 extension, reconstruction)",
+              "derived bound: (Delta+1)*rho/(1-eps) for unit heights, "
+              "(1+2Delta^2)*rho/(1-eps) all-narrow; rho = path capacity "
+              "spread; capacity-aware raises keep the certificate tight");
+
+  const double eps = 0.1;
+
+  // T5a: unit heights, small workloads with exact optimum, spread sweep.
+  Table t5a("T5a  unit heights, exact OPT, 10 seeds per spread");
+  t5a.set_header({"spread", "arm", "ratio(mean)", "ratio(worst)",
+                  "cert-gap(mean)", "derived-bound(mean)"});
+  for (double spread : {1.0, 2.0, 4.0, 8.0}) {
+    Aggregate aware, naive, byclass;
+    RunningStats bound_aware;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const Problem p = make(seed * 7 + static_cast<std::uint64_t>(spread),
+                             spread, HeightLaw::kUnit, /*large=*/false,
+                             CapacityLaw::kPowerClasses);
+      const ExactResult exact = solve_exact(p);
+
+      NonuniformOptions options;
+      options.dist.epsilon = eps;
+      options.dist.seed = seed;
+      const NonuniformResult a = solve_nonuniform_unit(p, options);
+      aware.ratio_vs_opt.add(
+          ratio(exact.profit, checked_profit(p, a.solution)));
+      aware.ratio_vs_cert.add(ratio(a.stats.dual_upper_bound, a.profit));
+      bound_aware.add(a.ratio_bound);
+
+      NonuniformOptions naive_options = options;
+      naive_options.capacity_aware = false;
+      const NonuniformResult b = solve_nonuniform_unit(p, naive_options);
+      naive.ratio_vs_opt.add(
+          ratio(exact.profit, checked_profit(p, b.solution)));
+      naive.ratio_vs_cert.add(ratio(b.stats.dual_upper_bound, b.profit));
+
+      NonuniformOptions class_options = options;
+      class_options.by_class = true;
+      const NonuniformResult c = solve_nonuniform_unit(p, class_options);
+      byclass.ratio_vs_opt.add(
+          ratio(exact.profit, checked_profit(p, c.solution)));
+      byclass.ratio_vs_cert.add(ratio(c.stats.dual_upper_bound, c.profit));
+    }
+    auto emit = [&](const char* arm, const Aggregate& agg,
+                    const std::string& bound) {
+      t5a.add_row({fmt(spread, 0), arm, fmt(agg.ratio_vs_opt.mean(), 3),
+                   fmt(agg.ratio_vs_opt.max(), 3),
+                   fmt(agg.ratio_vs_cert.mean(), 3), bound});
+    };
+    emit("capacity-aware (ours)", aware, fmt(bound_aware.mean(), 1));
+    emit("naive (paper verbatim)", naive, "-");
+    emit("by-bottleneck-class", byclass, "-");
+  }
+  t5a.print(std::cout);
+
+  // T5b: large unit-height workloads — certificate quality vs spread.
+  Table t5b("T5b  unit heights, n=300 m=240, certificate gap vs spread");
+  t5b.set_header({"spread", "rho(path)", "aware cert-gap", "naive cert-gap",
+                  "aware profit", "naive profit"});
+  for (double spread : {1.0, 4.0, 16.0}) {
+    const Problem p = make(991, spread, HeightLaw::kUnit, /*large=*/true,
+                           CapacityLaw::kTwoClass);
+    NonuniformOptions options;
+    options.dist.epsilon = eps;
+    const NonuniformResult a = solve_nonuniform_unit(p, options);
+    NonuniformOptions naive_options = options;
+    naive_options.capacity_aware = false;
+    const NonuniformResult b = solve_nonuniform_unit(p, naive_options);
+    t5b.add_row({fmt(spread, 0), fmt(a.path_spread, 1),
+                 fmt(ratio(a.stats.dual_upper_bound,
+                           checked_profit(p, a.solution)), 3),
+                 fmt(ratio(b.stats.dual_upper_bound,
+                           checked_profit(p, b.solution)), 3),
+                 fmt(a.profit, 0), fmt(b.profit, 0)});
+  }
+  t5b.print(std::cout);
+
+  // T5c: all-narrow heights under the strong NBA.
+  Table t5c("T5c  all-narrow heights (h <= c/2 everywhere), exact OPT");
+  t5c.set_header({"spread", "ratio(mean)", "ratio(worst)", "cert-gap(mean)",
+                  "derived-bound(mean)"});
+  for (double spread : {2.0, 4.0}) {
+    Aggregate agg;
+    RunningStats bound;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const Problem p = make(seed * 13 + 3, spread, HeightLaw::kNarrowOnly,
+                             /*large=*/false, CapacityLaw::kTwoClass);
+      if (!all_instances_narrow(p)) continue;
+      const ExactResult exact = solve_exact(p);
+      NonuniformOptions options;
+      options.dist.epsilon = eps;
+      options.dist.seed = seed;
+      const NonuniformResult a = solve_nonuniform_narrow(p, options);
+      agg.ratio_vs_opt.add(
+          ratio(exact.profit, checked_profit(p, a.solution)));
+      agg.ratio_vs_cert.add(ratio(a.stats.dual_upper_bound, a.profit));
+      bound.add(a.ratio_bound);
+    }
+    t5c.add_row({fmt(spread, 0), fmt(agg.ratio_vs_opt.mean(), 3),
+                 fmt(agg.ratio_vs_opt.max(), 3),
+                 fmt(agg.ratio_vs_cert.mean(), 3), fmt(bound.mean(), 1)});
+  }
+  t5c.print(std::cout);
+
+  std::printf("\nexpected shape: measured ratios stay low and under the "
+              "derived bound at every spread; the naive arm's certificate "
+              "degrades as spread grows while the capacity-aware one stays "
+              "flat; spread 1 reproduces the uniform paper setting.\n");
+  return 0;
+}

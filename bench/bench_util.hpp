@@ -1,0 +1,67 @@
+// Shared helpers for the experiment binaries.  Every bench prints the
+// paper claim it regenerates, one or more ASCII tables, and (for the
+// figures) a series suitable for plotting; EXPERIMENTS.md records the
+// output.  All workloads are seeded, so reruns reproduce the tables.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "model/problem.hpp"
+#include "model/solution.hpp"
+
+namespace treesched::benchutil {
+
+inline void print_claim(const std::string& id, const std::string& claim) {
+  std::printf("%s\n%s\n", std::string(72, '=').c_str(), id.c_str());
+  std::printf("claim: %s\n%s\n", claim.c_str(), std::string(72, '=').c_str());
+}
+
+// Measured approximation ratio against a reference optimum (or certified
+// upper bound): >= 1, lower is better.
+inline double ratio(Profit reference, Profit achieved) {
+  if (achieved <= 0.0) return reference > 0.0 ? 1e9 : 1.0;
+  return reference / achieved;
+}
+
+// Asserts feasibility; aborts the bench loudly otherwise (a bench that
+// silently reports an infeasible schedule would be worse than useless).
+inline Profit checked_profit(const Problem& problem,
+                             const Solution& solution) {
+  const auto report = check_feasibility(problem, solution);
+  if (!report.feasible) {
+    std::fprintf(stderr, "BENCH ERROR: infeasible solution: %s\n",
+                 report.violation.c_str());
+    std::abort();
+  }
+  return solution.profit(problem);
+}
+
+// Aggregates per-seed ratio/round measurements into one table row.
+struct Aggregate {
+  RunningStats ratio_vs_opt;   // only when exact opt available
+  RunningStats ratio_vs_cert;  // profit vs certified dual bound
+  RunningStats rounds;
+  RunningStats steps;
+  RunningStats profit;
+
+  void row(Table& table, const std::string& name, double bound) const {
+    table.add_row({name,
+                   ratio_vs_opt.count() ? fmt(ratio_vs_opt.mean(), 3) : "-",
+                   ratio_vs_opt.count() ? fmt(ratio_vs_opt.max(), 3) : "-",
+                   fmt(ratio_vs_cert.mean(), 3), fmt(bound, 2),
+                   fmt(rounds.mean(), 0)});
+  }
+
+  static std::vector<std::string> header() {
+    return {"algorithm", "ratio(mean)", "ratio(worst)", "cert-gap(mean)",
+            "proven-bound", "rounds(mean)"};
+  }
+};
+
+}  // namespace treesched::benchutil

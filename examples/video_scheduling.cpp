@@ -1,0 +1,65 @@
+// Video-on-demand scheduling: the line-networks-with-windows setting of
+// Section 7.  Transcoding jobs have release times, deadlines, processing
+// times and bandwidth shares, and can run on any of several encoder
+// pools (resources).  We compare the multi-stage (4+eps)/(23+eps)
+// algorithms against the Panconesi-Sozio single-stage baseline on the
+// same workload.
+//
+//   $ ./video_scheduling
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dist/scheduler.hpp"
+#include "model/solution.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+
+int main() {
+  LineScenarioSpec spec;
+  spec.line.num_slots = 288;       // a day in 5-minute slots
+  spec.line.num_resources = 4;     // encoder pools
+  spec.line.num_demands = 250;     // jobs
+  spec.line.min_proc_time = 2;
+  spec.line.max_proc_time = 24;
+  spec.line.window_slack = 3.0;    // deadlines three times the runtime
+  spec.line.heights = HeightLaw::kUniformRange;
+  spec.line.height_min = 0.2;
+  spec.line.profit_max = 500.0;
+  spec.seed = 7;
+  const Problem problem = make_line_problem(spec);
+
+  std::printf("workload: %s\n", describe(spec).c_str());
+  std::printf("placements (demand instances): %d\n",
+              problem.num_instances());
+
+  Table table("video scheduling: multi-stage vs PS single-stage");
+  table.set_header({"algorithm", "profit", "jobs", "bound", "cert-gap",
+                    "rounds"});
+
+  for (const bool ps : {false, true}) {
+    DistOptions options;
+    options.epsilon = 0.1;
+    options.stage_mode = ps ? StageMode::kSingleStagePS
+                            : StageMode::kMultiStage;
+    const DistResult r = solve_line_arbitrary_distributed(problem, options);
+    const auto report = check_feasibility(problem, r.solution);
+    if (!report.feasible) {
+      std::fprintf(stderr, "infeasible: %s\n", report.violation.c_str());
+      return 1;
+    }
+    table.add_row({ps ? "PS single-stage (baseline)" : "multi-stage (ours)",
+                   fmt(r.profit, 1), std::to_string(r.solution.size()),
+                   fmt(r.ratio_bound, 1),
+                   fmt(r.stats.dual_upper_bound / r.profit, 2),
+                   std::to_string(r.stats.comm_rounds)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe multi-stage schedule pays more rounds for a slackness of\n"
+      "lambda = 1-eps instead of 1/(5+eps), which is the paper's\n"
+      "improvement from 55+eps to 23+eps on this problem class.\n");
+  return 0;
+}

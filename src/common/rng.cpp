@@ -1,0 +1,83 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace treesched {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // Xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x1ULL;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  TS_REQUIRE(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TS_REQUIRE(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform(double lo, double hi) {
+  // 53-bit mantissa: uniform in [0,1).
+  double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  TS_REQUIRE(n >= 1);
+  if (n == 1) return 1;
+  // Rejection sampling from the Zipf(s) distribution truncated to [1, n]
+  // (Devroye).  For s == 1 the envelope degenerates; nudge it.
+  const double ss = (std::abs(s - 1.0) < 1e-9) ? 1.0 + 1e-9 : s;
+  const double t = std::pow(static_cast<double>(n), 1.0 - ss);
+  const double c = (1.0 - t) / (ss - 1.0);
+  for (;;) {
+    const double u = uniform();
+    const double x = std::pow(1.0 - u * (ss - 1.0) * c, 1.0 / (1.0 - ss));
+    const std::int64_t k = static_cast<std::int64_t>(x);
+    if (k < 1 || k > n) continue;
+    const double ratio = std::pow(static_cast<double>(k) / x, ss);
+    if (uniform() < ratio) return k;
+  }
+}
+
+Rng Rng::split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+}  // namespace treesched

@@ -1,0 +1,90 @@
+// Deterministic random number generation for workloads and randomized
+// algorithms (Luby MIS).  SplitMix64 seeds Xoshiro256**; both are tiny,
+// fast, and reproducible across platforms, which matters because every
+// benchmark row in EXPERIMENTS.md is keyed by a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prelude.hpp"
+
+namespace treesched {
+
+// SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256**: the workhorse generator.  Satisfies the C++ named
+// requirement UniformRandomBitGenerator so it plugs into <random> if ever
+// needed, but we provide the handful of distributions we actually use to
+// keep results platform-independent (libstdc++ distributions are not
+// portable across versions).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Zipf-distributed integer in [1, n] with exponent s (rejection-free
+  // inverse-CDF over precomputed weights would cost memory; we use the
+  // standard rejection sampler which is fine for n <= 1e6).
+  std::int64_t zipf(std::int64_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Pick a uniformly random element index of a non-empty container.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    TS_REQUIRE(!v.empty());
+    return v[static_cast<std::size_t>(next_below(v.size()))];
+  }
+
+  // Derive an independent child stream (for per-processor randomness in the
+  // distributed simulator).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace treesched

@@ -1,0 +1,71 @@
+// Balancing decomposition (paper, Section 4.2, BuildBalTD): recursively
+// pick a balancer (centroid) of the current component, make it the root,
+// and recurse into the split pieces.  Depth <= ceil(log n)+1; the pivot
+// set of C(z) is contained in z's H-ancestors, so theta <= depth.
+#include "decomp/tree_decomposition.hpp"
+
+#include <utility>
+
+namespace treesched {
+
+namespace detail {
+
+std::vector<std::vector<VertexId>> split_component(
+    const TreeNetwork& network, VertexId center, std::vector<int>& mark,
+    int stamp) {
+  std::vector<std::vector<VertexId>> pieces;
+  mark[static_cast<std::size_t>(center)] = 0;
+  for (const auto& root_adj : network.neighbors(center)) {
+    if (mark[static_cast<std::size_t>(root_adj.to)] != stamp) continue;
+    std::vector<VertexId> piece;
+    piece.push_back(root_adj.to);
+    mark[static_cast<std::size_t>(root_adj.to)] = 0;
+    for (std::size_t head = 0; head < piece.size(); ++head) {
+      for (const auto& adj : network.neighbors(piece[head])) {
+        if (mark[static_cast<std::size_t>(adj.to)] == stamp) {
+          mark[static_cast<std::size_t>(adj.to)] = 0;
+          piece.push_back(adj.to);
+        }
+      }
+    }
+    pieces.push_back(std::move(piece));
+  }
+  return pieces;
+}
+
+}  // namespace detail
+
+TreeDecomposition build_balancing(const TreeNetwork& network) {
+  const auto n = static_cast<std::size_t>(network.num_vertices());
+  std::vector<VertexId> parent(n, kNoVertex);
+  std::vector<int> mark(n, 0);
+  int next_stamp = 1;
+
+  struct Task {
+    std::vector<VertexId> verts;
+    VertexId hparent;
+  };
+  std::vector<Task> todo;
+  {
+    std::vector<VertexId> all(n);
+    for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<VertexId>(v);
+    todo.push_back({std::move(all), kNoVertex});
+  }
+  VertexId root = kNoVertex;
+
+  while (!todo.empty()) {
+    Task task = std::move(todo.back());
+    todo.pop_back();
+    const int stamp = next_stamp++;
+    for (VertexId v : task.verts) mark[static_cast<std::size_t>(v)] = stamp;
+    const VertexId z = find_balancer(network, task.verts, mark, stamp);
+    parent[static_cast<std::size_t>(z)] = task.hparent;
+    if (task.hparent == kNoVertex) root = z;
+    for (auto& piece : detail::split_component(network, z, mark, stamp))
+      todo.push_back({std::move(piece), z});
+  }
+  TS_REQUIRE(root != kNoVertex);
+  return TreeDecomposition(network, root, std::move(parent));
+}
+
+}  // namespace treesched

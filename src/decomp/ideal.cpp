@@ -1,0 +1,166 @@
+// Ideal tree decomposition (paper, Section 4.3, BuildIdealTD): depth at
+// most 2*ceil(log n)+1 with pivot size theta <= 2 (Lemma 4.1).
+//
+// Each recursive call receives a component C with at most two outside
+// T-neighbors, picks a balancer z, and splits C by z.  If the two outside
+// neighbors attach (via their unique edges into C) to two *different*
+// pieces — or at z itself — every piece already has at most two
+// neighbors and z becomes the local root (Cases 1 / 2(a)).  Otherwise
+// both attachment points u1', u2' land in the same piece C1; then the
+// *junction* j = median_T(u1', u2', z) is made the local root with z as
+// its child, C1 is re-split by j, the piece of C1 facing z hangs under z,
+// and the remaining pieces of C1 hang under j (Case 2(b)).  Every child
+// component halves in size while the H-depth grows by at most 2, giving
+// the 2 log n depth bound; the case analysis keeps every component's
+// neighborhood at size <= 2, giving theta <= 2.
+#include "decomp/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace treesched {
+
+namespace {
+
+struct Task {
+  std::vector<VertexId> verts;
+  VertexId hparent;             // H-parent of this component's local root
+  std::vector<VertexId> nbrs;   // outside T-neighbors of the component, <= 2
+};
+
+// The unique vertex of the (marked) component adjacent to outside vertex
+// `u`.  Uniqueness: two edges from u into a connected component would
+// close a cycle in T.
+VertexId attachment(const TreeNetwork& network, VertexId u,
+                    const std::vector<int>& mark, int stamp) {
+  VertexId found = kNoVertex;
+  for (const auto& adj : network.neighbors(u)) {
+    if (mark[static_cast<std::size_t>(adj.to)] == stamp) {
+      TS_REQUIRE(found == kNoVertex);
+      found = adj.to;
+    }
+  }
+  TS_REQUIRE(found != kNoVertex);
+  return found;
+}
+
+int piece_containing(const std::vector<std::vector<VertexId>>& pieces,
+                     VertexId v) {
+  for (std::size_t i = 0; i < pieces.size(); ++i)
+    if (std::find(pieces[i].begin(), pieces[i].end(), v) != pieces[i].end())
+      return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+TreeDecomposition build_ideal(const TreeNetwork& network) {
+  const auto n = static_cast<std::size_t>(network.num_vertices());
+  std::vector<VertexId> parent(n, kNoVertex);
+  std::vector<int> mark(n, 0);
+  int next_stamp = 1;
+
+  // Top level (proof of Lemma 4.1): root H at a balancer g of V; every
+  // split piece has the single neighbor {g}.
+  std::vector<VertexId> all(n);
+  for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<VertexId>(v);
+  const int top_stamp = next_stamp++;
+  for (VertexId v : all) mark[static_cast<std::size_t>(v)] = top_stamp;
+  const VertexId root = find_balancer(network, all, mark, top_stamp);
+
+  std::vector<Task> todo;
+  for (auto& piece : detail::split_component(network, root, mark, top_stamp))
+    todo.push_back({std::move(piece), root, {root}});
+
+  while (!todo.empty()) {
+    Task task = std::move(todo.back());
+    todo.pop_back();
+    TS_REQUIRE(task.nbrs.size() <= 2);  // BuildIdealTD precondition
+
+    if (task.verts.size() == 1) {
+      parent[static_cast<std::size_t>(task.verts.front())] = task.hparent;
+      continue;
+    }
+
+    const int stamp = next_stamp++;
+    for (VertexId v : task.verts) mark[static_cast<std::size_t>(v)] = stamp;
+
+    // Attachment vertices of the outside neighbors (computed before the
+    // split consumes the marks).
+    std::vector<VertexId> attach;
+    for (VertexId u : task.nbrs)
+      attach.push_back(attachment(network, u, mark, stamp));
+
+    const VertexId z = find_balancer(network, task.verts, mark, stamp);
+    auto pieces = detail::split_component(network, z, mark, stamp);
+
+    // Piece index of each attachment vertex (-1 when it is z itself).
+    std::vector<int> attach_piece;
+    for (VertexId a : attach)
+      attach_piece.push_back(a == z ? -1 : piece_containing(pieces, a));
+
+    const bool junction_case = task.nbrs.size() == 2 &&
+                               attach_piece[0] >= 0 &&
+                               attach_piece[0] == attach_piece[1];
+
+    if (!junction_case) {
+      // Cases 1 / 2(a): z is the local root; pieces hang under z.
+      parent[static_cast<std::size_t>(z)] = task.hparent;
+      for (std::size_t i = 0; i < pieces.size(); ++i) {
+        std::vector<VertexId> nbrs{z};
+        for (std::size_t k = 0; k < task.nbrs.size(); ++k)
+          if (attach_piece[k] == static_cast<int>(i))
+            nbrs.push_back(task.nbrs[k]);
+        TS_REQUIRE(nbrs.size() <= 2);
+        todo.push_back({std::move(pieces[i]), z, std::move(nbrs)});
+      }
+      continue;
+    }
+
+    // Case 2(b): both outside neighbors attach inside the same piece C1.
+    const auto c1_index = static_cast<std::size_t>(attach_piece[0]);
+    const VertexId u1p = attach[0];
+    const VertexId u2p = attach[1];
+    const VertexId j = network.median(u1p, u2p, z);
+
+    parent[static_cast<std::size_t>(j)] = task.hparent;
+    parent[static_cast<std::size_t>(z)] = j;
+
+    // Pieces of C other than C1 hang under z with neighborhood {z}.
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (i == c1_index) continue;
+      todo.push_back({std::move(pieces[i]), z, {z}});
+    }
+
+    // Re-split C1 around the junction j.
+    std::vector<VertexId> c1 = std::move(pieces[c1_index]);
+    TS_REQUIRE(std::find(c1.begin(), c1.end(), j) != c1.end());
+    const int stamp1 = next_stamp++;
+    for (VertexId v : c1) mark[static_cast<std::size_t>(v)] = stamp1;
+    // w: the unique vertex of C1 adjacent to z (z has exactly one edge
+    // into C1).  It lies on the j~z side by the median property.
+    const VertexId w = attachment(network, z, mark, stamp1);
+    auto sub = detail::split_component(network, j, mark, stamp1);
+    for (auto& q : sub) {
+      std::vector<VertexId> nbrs{j};
+      VertexId hp = j;
+      if (w != j && piece_containing({q}, w) == 0) {
+        // The z-facing piece hangs under z with neighborhood {j, z}.
+        nbrs.push_back(z);
+        hp = z;
+      }
+      if (u1p != j &&
+          std::find(q.begin(), q.end(), u1p) != q.end())
+        nbrs.push_back(task.nbrs[0]);
+      if (u2p != j && u2p != u1p &&
+          std::find(q.begin(), q.end(), u2p) != q.end())
+        nbrs.push_back(task.nbrs[1]);
+      TS_REQUIRE(nbrs.size() <= 2);
+      todo.push_back({std::move(q), hp, std::move(nbrs)});
+    }
+  }
+
+  return TreeDecomposition(network, root, std::move(parent));
+}
+
+}  // namespace treesched

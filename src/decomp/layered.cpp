@@ -1,0 +1,173 @@
+#include "decomp/layered.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+namespace treesched {
+
+namespace {
+
+// Appends the global ids of the path edges adjacent to vertex y ("wings of
+// y on path(d)", paper Section 4.4).  `pathv` are the path vertices in
+// order; `offset` maps local edge ids of the network to global ids.
+void add_wings(const TreeNetwork& network,
+               const std::vector<VertexId>& pathv, VertexId y, EdgeId offset,
+               std::vector<EdgeId>& out) {
+  for (std::size_t k = 0; k < pathv.size(); ++k) {
+    if (pathv[k] != y) continue;
+    if (k > 0) {
+      const EdgeId e = network.edge_between(pathv[k - 1], pathv[k]);
+      TS_REQUIRE(e != kNoEdge);
+      out.push_back(offset + e);
+    }
+    if (k + 1 < pathv.size()) {
+      const EdgeId e = network.edge_between(pathv[k], pathv[k + 1]);
+      TS_REQUIRE(e != kNoEdge);
+      out.push_back(offset + e);
+    }
+    return;
+  }
+  TS_REQUIRE(false);  // y must lie on the path
+}
+
+void finalize_plan(const Problem& problem, LayeredPlan& plan) {
+  plan.delta = 0;
+  plan.members.assign(static_cast<std::size_t>(plan.num_groups), {});
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    auto& crit = plan.critical[static_cast<std::size_t>(i)];
+    std::sort(crit.begin(), crit.end());
+    crit.erase(std::unique(crit.begin(), crit.end()), crit.end());
+    plan.delta = std::max(plan.delta, static_cast<int>(crit.size()));
+    const int g = plan.group[static_cast<std::size_t>(i)];
+    TS_REQUIRE(g >= 0 && g < plan.num_groups);
+    plan.members[static_cast<std::size_t>(g)].push_back(i);
+  }
+}
+
+}  // namespace
+
+LayeredPlan build_tree_layered_plan(const Problem& problem, DecompKind kind,
+                                    bool mu_wings_only) {
+  TS_REQUIRE(problem.finalized());
+  LayeredPlan plan;
+  plan.group.assign(static_cast<std::size_t>(problem.num_instances()), 0);
+  plan.critical.assign(static_cast<std::size_t>(problem.num_instances()), {});
+
+  // One decomposition per network; groups are indexed by capture depth
+  // from the bottom (deepest captured = group 0 = raised first), so
+  // G_k = union over networks of the k-th group (paper, Section 5).
+  std::vector<TreeDecomposition> decomps;
+  decomps.reserve(static_cast<std::size_t>(problem.num_networks()));
+  for (NetworkId q = 0; q < problem.num_networks(); ++q)
+    decomps.push_back(build_decomposition(problem.network(q), kind));
+
+  plan.num_groups = 1;
+  for (const auto& d : decomps)
+    plan.num_groups = std::max(plan.num_groups, d.max_depth());
+
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    const DemandInstance& inst = problem.instance(i);
+    const TreeDecomposition& decomp =
+        decomps[static_cast<std::size_t>(inst.network)];
+    const TreeNetwork& network = problem.network(inst.network);
+    const EdgeId offset = problem.global_edge(inst.network, 0);
+
+    const auto pathv = network.path_vertices(inst.u, inst.v);
+    const VertexId mu = decomp.capture(inst.u, inst.v);
+    plan.group[static_cast<std::size_t>(i)] =
+        decomp.max_depth() - decomp.depth(mu);
+
+    auto& crit = plan.critical[static_cast<std::size_t>(i)];
+    add_wings(network, pathv, mu, offset, crit);
+    if (!mu_wings_only) {
+      for (VertexId u : decomp.pivots(mu)) {
+        const VertexId bend = network.median(u, inst.u, inst.v);
+        add_wings(network, pathv, bend, offset, crit);
+      }
+    }
+  }
+  finalize_plan(problem, plan);
+  return plan;
+}
+
+LayeredPlan build_line_layered_plan(const Problem& problem) {
+  TS_REQUIRE(problem.finalized());
+  LayeredPlan plan;
+  plan.group.assign(static_cast<std::size_t>(problem.num_instances()), 0);
+  plan.critical.assign(static_cast<std::size_t>(problem.num_instances()), {});
+
+  const int lmin = problem.min_path_length();
+  TS_REQUIRE(lmin >= 1);
+  plan.num_groups = 1;
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    const DemandInstance& inst = problem.instance(i);
+    // Length class: group g holds lengths in [2^g * lmin, 2^(g+1) * lmin),
+    // so lengths within a group differ by a factor < 2.
+    const int len = static_cast<int>(inst.edges.size());
+    int g = 0;
+    while ((lmin << (g + 1)) <= len) ++g;
+    plan.group[static_cast<std::size_t>(i)] = g;
+    plan.num_groups = std::max(plan.num_groups, g + 1);
+
+    // Instances of a line network have contiguous global edge ids; the
+    // critical slots are the first, middle and last slot of the interval
+    // (paper, Section 7: pi(d) = {s(d), mid(d), e(d)}).
+    const EdgeId s = inst.edges.front();
+    const EdgeId e = inst.edges.back();
+    const EdgeId mid = (s + e) / 2;
+    TS_REQUIRE(e - s + 1 == static_cast<EdgeId>(inst.edges.size()));
+    auto& crit = plan.critical[static_cast<std::size_t>(i)];
+    crit = {s, mid, e};
+  }
+  finalize_plan(problem, plan);
+  return plan;
+}
+
+std::optional<std::string> interference_violation(const Problem& problem,
+                                                  const LayeredPlan& plan) {
+  // The pair scan is quadratic; rows are independent, so it parallelizes
+  // trivially (the first violation found wins — which one is reported is
+  // unspecified, as documented).
+  std::optional<std::string> violation;
+  std::atomic<bool> found{false};
+#ifdef TREESCHED_HAS_OPENMP
+#pragma omp parallel for schedule(dynamic, 8)
+#endif
+  for (InstanceId a = 0; a < problem.num_instances(); ++a) {
+    if (found.load(std::memory_order_relaxed)) continue;
+    for (InstanceId b = 0; b < problem.num_instances(); ++b) {
+      if (a == b) continue;
+      // d1 = a raised no later than d2 = b (group(a) <= group(b)).
+      if (plan.group[static_cast<std::size_t>(a)] >
+          plan.group[static_cast<std::size_t>(b)])
+        continue;
+      if (!problem.overlap(a, b)) continue;
+      const auto& path_b = problem.instance(b).edges;
+      bool hit = false;
+      for (EdgeId e : plan.critical[static_cast<std::size_t>(a)]) {
+        if (std::binary_search(path_b.begin(), path_b.end(), e)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        std::ostringstream os;
+        os << "instances " << a << " (group "
+           << plan.group[static_cast<std::size_t>(a)] << ") and " << b
+           << " (group " << plan.group[static_cast<std::size_t>(b)]
+           << ") overlap but path(" << b << ") misses pi(" << a << ")";
+#ifdef TREESCHED_HAS_OPENMP
+#pragma omp critical(treesched_interference)
+#endif
+        {
+          if (!found.exchange(true)) violation = os.str();
+        }
+        break;
+      }
+    }
+  }
+  return violation;
+}
+
+}  // namespace treesched

@@ -1,0 +1,61 @@
+// Layered decompositions (paper, Section 4.4 and Section 7).
+//
+// A layered decomposition assigns every demand instance a group index and
+// a set of *critical edges* pi(d) on its path such that for any two
+// overlapping instances d1 in G_i and d2 in G_j with i <= j, path(d2)
+// contains at least one edge of pi(d1).  The two-phase framework raises
+// groups in ascending order; the property above is exactly the
+// "interference property" that powers Lemma 3.1.
+//
+// Tree networks (Lemma 4.2): from a tree decomposition with pivot size
+// theta and depth l we derive groups by *capture depth* (deepest captured
+// first) and pi(d) = wings of the capture node mu(d) plus wings of the
+// bending points of path(d) w.r.t. each pivot of C(mu(d)).  The critical
+// set size is Delta <= 2(theta+1): Delta = 6 with the ideal decomposition
+// (Lemma 4.3), 4 with root-fixing, 2(log n + 1) with balancing.
+//
+// Line networks (Section 7): groups by length class (factor-2 buckets
+// above the minimum length) and pi(d) = {start, mid, end} timeslots,
+// Delta = 3.  This is the decomposition implicit in Panconesi-Sozio.
+//
+// The Appendix-A sequential ordering is the root-fixing plan with
+// mu-wings only (Delta = 2, Observation A.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+struct LayeredPlan {
+  int num_groups = 0;  // l_max: number of epochs of the distributed run
+  int delta = 0;       // max |pi(d)| over all instances
+  std::vector<int> group;                     // per instance, 0-based
+  std::vector<std::vector<EdgeId>> critical;  // per instance, global edges
+
+  // Instances listed per group (built by finalize_plan).
+  std::vector<std::vector<InstanceId>> members;
+};
+
+// Lemma 4.2/4.3 plan: one tree decomposition per network, groups aligned
+// by capture depth from the bottom.  `mu_wings_only` restricts pi(d) to
+// the wings of the capture node (valid for root-fixing by Observation
+// A.1; used by the sequential Appendix-A algorithm, Delta = 2).
+LayeredPlan build_tree_layered_plan(const Problem& problem, DecompKind kind,
+                                    bool mu_wings_only = false);
+
+// Section 7 plan for line networks: length classes + {start, mid, end}.
+LayeredPlan build_line_layered_plan(const Problem& problem);
+
+// Exhaustive check of the layered-decomposition property; returns a
+// description of the first violation, or nullopt when the plan is valid.
+// O(#overlapping pairs * Delta); intended for tests.
+std::optional<std::string> interference_violation(const Problem& problem,
+                                                  const LayeredPlan& plan);
+
+}  // namespace treesched

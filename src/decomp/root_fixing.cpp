@@ -1,0 +1,45 @@
+// Root-fixing decomposition (paper, Section 4.2): H is simply T rooted at
+// an arbitrary vertex.  Every component C(z) has the single neighbor
+// parent(z), so the pivot size is 1, but the depth can be as large as n.
+// The sequential Appendix-A algorithm is built on this decomposition.
+#include "decomp/tree_decomposition.hpp"
+
+namespace treesched {
+
+TreeDecomposition build_root_fixing(const TreeNetwork& network, VertexId root) {
+  const auto n = static_cast<std::size_t>(network.num_vertices());
+  TS_REQUIRE(root >= 0 && root < network.num_vertices());
+  std::vector<VertexId> parent(n, kNoVertex);
+  std::vector<char> seen(n, 0);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  queue.push_back(root);
+  seen[static_cast<std::size_t>(root)] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (const auto& adj : network.neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(adj.to)]) {
+        seen[static_cast<std::size_t>(adj.to)] = 1;
+        parent[static_cast<std::size_t>(adj.to)] = v;
+        queue.push_back(adj.to);
+      }
+    }
+  }
+  return TreeDecomposition(network, root, std::move(parent));
+}
+
+TreeDecomposition build_decomposition(const TreeNetwork& network,
+                                      DecompKind kind) {
+  switch (kind) {
+    case DecompKind::kRootFixing:
+      return build_root_fixing(network);
+    case DecompKind::kBalancing:
+      return build_balancing(network);
+    case DecompKind::kIdeal:
+      return build_ideal(network);
+  }
+  TS_REQUIRE(false);
+  return build_root_fixing(network);
+}
+
+}  // namespace treesched

@@ -1,0 +1,250 @@
+#include "decomp/tree_decomposition.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+const char* to_string(DecompKind kind) {
+  switch (kind) {
+    case DecompKind::kRootFixing:
+      return "root-fixing";
+    case DecompKind::kBalancing:
+      return "balancing";
+    case DecompKind::kIdeal:
+      return "ideal";
+  }
+  return "?";
+}
+
+TreeDecomposition::TreeDecomposition(const TreeNetwork& network, VertexId root,
+                                     std::vector<VertexId> parent)
+    : network_(&network), root_(root), parent_(std::move(parent)) {
+  const auto n = static_cast<std::size_t>(network_->num_vertices());
+  TS_REQUIRE(parent_.size() == n);
+  TS_REQUIRE(root_ >= 0 && root_ < network_->num_vertices());
+  TS_REQUIRE(parent_[static_cast<std::size_t>(root_)] == kNoVertex);
+
+  children_.assign(n, {});
+  for (VertexId v = 0; v < network_->num_vertices(); ++v) {
+    if (v == root_) continue;
+    const VertexId p = parent_[static_cast<std::size_t>(v)];
+    TS_REQUIRE(p >= 0 && p < network_->num_vertices());
+    children_[static_cast<std::size_t>(p)].push_back(v);
+  }
+
+  // Iterative DFS: depths (root = 1) and Euler intervals.
+  depth_.assign(n, 0);
+  tin_.assign(n, -1);
+  tout_.assign(n, -1);
+  int clock = 0;
+  std::vector<std::pair<VertexId, std::size_t>> stack;
+  stack.emplace_back(root_, 0);
+  depth_[static_cast<std::size_t>(root_)] = 1;
+  tin_[static_cast<std::size_t>(root_)] = clock++;
+  max_depth_ = 1;
+  while (!stack.empty()) {
+    auto& [v, next_child] = stack.back();
+    const auto& kids = children_[static_cast<std::size_t>(v)];
+    if (next_child < kids.size()) {
+      const VertexId c = kids[next_child++];
+      depth_[static_cast<std::size_t>(c)] =
+          depth_[static_cast<std::size_t>(v)] + 1;
+      max_depth_ = std::max(max_depth_, depth_[static_cast<std::size_t>(c)]);
+      tin_[static_cast<std::size_t>(c)] = clock++;
+      stack.emplace_back(c, 0);
+    } else {
+      tout_[static_cast<std::size_t>(v)] = clock++;
+      stack.pop_back();
+    }
+  }
+  // Every vertex must have been visited (H spans V and is acyclic).
+  for (std::size_t v = 0; v < n; ++v) TS_REQUIRE(tin_[v] >= 0);
+}
+
+bool TreeDecomposition::is_ancestor(VertexId anc, VertexId v) const {
+  return tin_[check(anc)] <= tin_[check(v)] && tout_[check(v)] <= tout_[check(anc)];
+}
+
+VertexId TreeDecomposition::lca(VertexId u, VertexId v) const {
+  check(u);
+  check(v);
+  while (u != v) {
+    if (depth_[static_cast<std::size_t>(u)] >=
+        depth_[static_cast<std::size_t>(v)])
+      u = parent_[static_cast<std::size_t>(u)];
+    else
+      v = parent_[static_cast<std::size_t>(v)];
+  }
+  return u;
+}
+
+VertexId TreeDecomposition::capture(VertexId u, VertexId v) const {
+  VertexId best = kNoVertex;
+  for (VertexId x : network_->path_vertices(u, v)) {
+    if (best == kNoVertex ||
+        depth_[static_cast<std::size_t>(x)] <
+            depth_[static_cast<std::size_t>(best)])
+      best = x;
+  }
+  // Property (i) implies the minimum is unique: it must be the H-LCA of
+  // the endpoints, which lies on the path.
+  TS_DCHECK(best == lca(u, v));
+  return best;
+}
+
+void TreeDecomposition::build_pivots() const {
+  if (pivots_built_) return;
+  const auto n = static_cast<std::size_t>(network_->num_vertices());
+  pivots_.assign(n, {});
+  // For a T-edge (x, y) with y an H-ancestor of x: y is a pivot of C(z)
+  // for every z on the H-path from x (inclusive) up to y (exclusive).
+  for (EdgeId e = 0; e < network_->num_edges(); ++e) {
+    VertexId x = network_->edge_u(e);
+    VertexId y = network_->edge_v(e);
+    if (is_ancestor(x, y)) std::swap(x, y);
+    TS_REQUIRE(is_ancestor(y, x));  // decomposition property
+    for (VertexId z = x; z != y; z = parent_[static_cast<std::size_t>(z)])
+      pivots_[static_cast<std::size_t>(z)].push_back(y);
+  }
+  pivot_size_ = 0;
+  for (auto& ps : pivots_) {
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+    pivot_size_ = std::max(pivot_size_, static_cast<int>(ps.size()));
+  }
+  pivots_built_ = true;
+}
+
+const std::vector<VertexId>& TreeDecomposition::pivots(VertexId z) const {
+  build_pivots();
+  return pivots_[check(z)];
+}
+
+int TreeDecomposition::pivot_size() const {
+  build_pivots();
+  return pivot_size_;
+}
+
+TreeDecomposition::Validation TreeDecomposition::validate() const {
+  Validation result;
+  const VertexId n = network_->num_vertices();
+
+  // (a) Every T-edge joins H-comparable vertices.
+  for (EdgeId e = 0; e < network_->num_edges(); ++e) {
+    const VertexId x = network_->edge_u(e);
+    const VertexId y = network_->edge_v(e);
+    if (!is_ancestor(x, y) && !is_ancestor(y, x)) {
+      result.ok = false;
+      result.why = "T-edge (" + std::to_string(x) + "," + std::to_string(y) +
+                   ") joins H-incomparable vertices";
+      return result;
+    }
+  }
+
+  // (b) Every C(z) is T-connected: BFS within the component.
+  std::vector<int> stamp(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> comp, queue;
+  for (VertexId z = 0; z < n; ++z) {
+    comp.clear();
+    // Collect C(z) = z + H-descendants via children lists.
+    comp.push_back(z);
+    for (std::size_t head = 0; head < comp.size(); ++head)
+      for (VertexId c : children_[static_cast<std::size_t>(comp[head])])
+        comp.push_back(c);
+    for (VertexId v : comp) stamp[static_cast<std::size_t>(v)] = z;
+    // BFS in T restricted to the component.
+    queue.clear();
+    queue.push_back(z);
+    stamp[static_cast<std::size_t>(z)] = z + n;  // visited marker
+    std::size_t reached = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const auto& adj : network_->neighbors(queue[head])) {
+        if (stamp[static_cast<std::size_t>(adj.to)] == z) {
+          stamp[static_cast<std::size_t>(adj.to)] = z + n;
+          queue.push_back(adj.to);
+          ++reached;
+        }
+      }
+    }
+    if (reached != comp.size()) {
+      result.ok = false;
+      result.why = "component C(" + std::to_string(z) + ") is not T-connected";
+      return result;
+    }
+  }
+  return result;
+}
+
+VertexId find_balancer(const TreeNetwork& network,
+                       const std::vector<VertexId>& verts,
+                       const std::vector<int>& in_comp, int stamp) {
+  TS_REQUIRE(!verts.empty());
+  const auto size = static_cast<int>(verts.size());
+  if (size == 1) return verts.front();
+
+  // Iterative DFS from verts[0] inside the component computing subtree
+  // sizes, then pick the vertex minimizing the largest split piece (the
+  // classic centroid, which satisfies the <= floor(|C|/2) bound).
+  struct Frame {
+    VertexId v;
+    VertexId from;
+    std::size_t next = 0;
+  };
+  // Use local maps keyed by vertex id; the component can be a sparse
+  // subset of V, so a hash-free approach uses two scratch arrays indexed
+  // by vertex (allocated by the caller via in_comp; sizes are local).
+  std::vector<std::pair<VertexId, VertexId>> order;  // (vertex, dfs parent)
+  order.reserve(verts.size());
+  std::vector<Frame> stack;
+  stack.push_back({verts.front(), kNoVertex, 0});
+  order.emplace_back(verts.front(), kNoVertex);
+  // Track visited via a local set: mark by recording position.
+  std::vector<int> pos(in_comp.size(), -1);
+  pos[static_cast<std::size_t>(verts.front())] = 0;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto nbrs = network.neighbors(f.v);
+    if (f.next < nbrs.size()) {
+      const VertexId to = nbrs[f.next++].to;
+      if (to == f.from) continue;
+      if (in_comp[static_cast<std::size_t>(to)] != stamp) continue;
+      if (pos[static_cast<std::size_t>(to)] >= 0) continue;
+      pos[static_cast<std::size_t>(to)] = static_cast<int>(order.size());
+      order.emplace_back(to, f.v);
+      stack.push_back({to, f.v, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+  TS_REQUIRE(order.size() == verts.size());
+
+  // Subtree sizes in reverse DFS order.
+  std::vector<int> sub(order.size(), 1);
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const auto [v, from] = order[i];
+    sub[static_cast<std::size_t>(pos[static_cast<std::size_t>(from)])] +=
+        sub[i];
+  }
+
+  VertexId best = verts.front();
+  int best_piece = size;  // max piece when removing `best`
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto [v, from] = order[i];
+    int largest = size - sub[i];  // the piece containing the DFS parent
+    for (const auto& adj : network.neighbors(v)) {
+      if (adj.to == from) continue;
+      if (in_comp[static_cast<std::size_t>(adj.to)] != stamp) continue;
+      largest = std::max(
+          largest, sub[static_cast<std::size_t>(
+                       pos[static_cast<std::size_t>(adj.to)])]);
+    }
+    if (largest < best_piece) {
+      best_piece = largest;
+      best = v;
+    }
+  }
+  TS_REQUIRE(best_piece <= size / 2);  // centroid guarantee (paper Sec. 4.2)
+  return best;
+}
+
+}  // namespace treesched

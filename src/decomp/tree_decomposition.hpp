@@ -1,0 +1,135 @@
+// Tree decompositions (paper, Section 4).
+//
+// A tree decomposition of a tree-network T is a rooted tree H over the same
+// vertex set such that
+//   (i)  any demand path through vertices x and y also passes through
+//        LCA_H(x, y), and
+//   (ii) for every node z, C(z) — z together with its H-descendants —
+//        induces a connected subtree (a "component") of T.
+//
+// These two properties are equivalent to H being an *elimination tree*
+// (treedepth decomposition) of T: every T-edge joins H-comparable vertices
+// and every C(z) is T-connected.  validate() checks exactly that pair of
+// conditions, which is what the property tests exercise.
+//
+// The pivot set chi(z) is the T-neighborhood of C(z); its maximum size
+// theta and the H-depth are the two efficacy measures: theta drives the
+// critical-set size Delta = 2(theta+1) of the derived layered
+// decomposition (Lemma 4.2) and the depth drives the number of epochs of
+// the distributed algorithm (Section 5).
+//
+// Three constructions are provided (Sections 4.2-4.3):
+//   - build_root_fixing:  theta = 1, depth up to n;
+//   - build_balancing:    depth <= ceil(log n)+1, theta <= depth;
+//   - build_ideal:        depth <= 2 ceil(log n)+1, theta <= 2
+//                         (the paper's BuildIdealTD, Lemma 4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "graph/tree_network.hpp"
+
+namespace treesched {
+
+enum class DecompKind { kRootFixing, kBalancing, kIdeal };
+
+const char* to_string(DecompKind kind);
+
+class TreeDecomposition {
+ public:
+  // `parent[v]` is v's parent in H (kNoVertex for the root).  The
+  // constructor derives depths (root depth = 1, the paper's convention),
+  // children lists and Euler intervals; it requires the parent array to
+  // describe a tree spanning all vertices of T.
+  TreeDecomposition(const TreeNetwork& network, VertexId root,
+                    std::vector<VertexId> parent);
+
+  const TreeNetwork& network() const { return *network_; }
+  VertexId root() const { return root_; }
+  VertexId parent(VertexId v) const { return parent_[check(v)]; }
+  int depth(VertexId v) const { return depth_[check(v)]; }
+  int max_depth() const { return max_depth_; }
+  const std::vector<VertexId>& children(VertexId v) const {
+    return children_[check(v)];
+  }
+
+  // Ancestor-or-self test in H (O(1), Euler intervals).
+  bool is_ancestor(VertexId anc, VertexId v) const;
+
+  // LCA in H.  O(depth) walk; used only in validation and pivot building.
+  VertexId lca(VertexId u, VertexId v) const;
+
+  // The capture node mu(d) of the path u~v: the unique least-depth vertex
+  // of H among the path's vertices (paper, Section 4.4).  O(path length).
+  VertexId capture(VertexId u, VertexId v) const;
+
+  // Pivot sets chi(z) = Gamma[C(z)] for all z, computed lazily once.
+  const std::vector<VertexId>& pivots(VertexId z) const;
+  // Maximum |chi(z)| over all z.
+  int pivot_size() const;
+
+  struct Validation {
+    bool ok = true;
+    std::string why;
+  };
+  // Full check of the elimination-tree characterization of properties
+  // (i) + (ii).  O(n * depth); intended for tests.
+  Validation validate() const;
+
+ private:
+  std::size_t check(VertexId v) const {
+    TS_REQUIRE(v >= 0 && v < network_->num_vertices());
+    return static_cast<std::size_t>(v);
+  }
+  void build_pivots() const;
+
+  const TreeNetwork* network_;
+  VertexId root_;
+  std::vector<VertexId> parent_;
+  std::vector<int> depth_;
+  std::vector<std::vector<VertexId>> children_;
+  std::vector<int> tin_, tout_;
+  int max_depth_ = 0;
+
+  mutable bool pivots_built_ = false;
+  mutable std::vector<std::vector<VertexId>> pivots_;
+  mutable int pivot_size_ = 0;
+};
+
+// Section 4.2: root T at `root` (default 0); theta = 1, depth up to n.
+TreeDecomposition build_root_fixing(const TreeNetwork& network,
+                                    VertexId root = 0);
+
+// Section 4.2: recursive balancer (centroid) splitting; depth <=
+// ceil(log n)+1, pivot size <= depth.
+TreeDecomposition build_balancing(const TreeNetwork& network);
+
+// Section 4.3: the ideal decomposition; depth <= 2 ceil(log n)+1,
+// pivot size <= 2 (Lemma 4.1).
+TreeDecomposition build_ideal(const TreeNetwork& network);
+
+TreeDecomposition build_decomposition(const TreeNetwork& network,
+                                      DecompKind kind);
+
+// Shared helper (used by the balancing and ideal builders and by tests):
+// a *balancer* of the component `verts` (paper, Section 4.2) — a vertex
+// whose removal splits the component into pieces of size at most
+// floor(|C|/2).  `in_comp` must be a membership mask over all vertices.
+VertexId find_balancer(const TreeNetwork& network,
+                       const std::vector<VertexId>& verts,
+                       const std::vector<int>& in_comp, int stamp);
+
+namespace detail {
+// Splits a component (all vertices marked with `stamp` in `mark`) around
+// `center`: returns the connected pieces of the component minus the
+// center, consuming the marks (including the center's).  Shared by the
+// balancing and ideal builders.
+std::vector<std::vector<VertexId>> split_component(const TreeNetwork& network,
+                                                   VertexId center,
+                                                   std::vector<int>& mark,
+                                                   int stamp);
+}  // namespace detail
+
+}  // namespace treesched

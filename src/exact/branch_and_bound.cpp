@@ -1,0 +1,80 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace treesched {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const Problem& problem, std::int64_t node_limit)
+      : problem_(&problem), tracker_(problem), node_limit_(node_limit) {
+    // Demands in descending profit order tighten the additive bound fast.
+    order_.resize(static_cast<std::size_t>(problem.num_demands()));
+    for (DemandId d = 0; d < problem.num_demands(); ++d)
+      order_[static_cast<std::size_t>(d)] = d;
+    std::sort(order_.begin(), order_.end(), [&](DemandId a, DemandId b) {
+      return problem.demand(a).profit > problem.demand(b).profit;
+    });
+    // suffix_[k] = total profit of demands order_[k..end].
+    suffix_.assign(order_.size() + 1, 0.0);
+    for (std::size_t k = order_.size(); k-- > 0;)
+      suffix_[k] = suffix_[k + 1] +
+                   problem.demand(order_[k]).profit;
+  }
+
+  ExactResult run() {
+    dfs(0, 0.0);
+    ExactResult result;
+    result.solution.selected = best_set_;
+    result.profit = best_;
+    result.nodes = nodes_;
+    result.completed = nodes_ <= node_limit_;
+    return result;
+  }
+
+ private:
+  void dfs(std::size_t k, Profit current) {
+    if (nodes_ > node_limit_) return;
+    ++nodes_;
+    if (current > best_) {
+      best_ = current;
+      best_set_ = chosen_;
+    }
+    if (k == order_.size()) return;
+    if (current + suffix_[k] <= best_ + kEps) return;  // bound
+
+    const DemandId d = order_[k];
+    // Branch: each feasible instance of demand d, then "skip d".
+    for (InstanceId i : problem_->instances_of_demand(d)) {
+      if (!tracker_.fits(i)) continue;
+      tracker_.add(i);
+      chosen_.push_back(i);
+      dfs(k + 1, current + problem_->instance(i).profit);
+      chosen_.pop_back();
+      tracker_.remove(i);
+    }
+    dfs(k + 1, current);
+  }
+
+  const Problem* problem_;
+  LoadTracker tracker_;
+  std::int64_t node_limit_;
+  std::vector<DemandId> order_;
+  std::vector<Profit> suffix_;
+  std::vector<InstanceId> chosen_, best_set_;
+  Profit best_ = 0.0;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const Problem& problem, std::int64_t node_limit) {
+  TS_REQUIRE(problem.finalized());
+  Searcher searcher(problem, node_limit);
+  return searcher.run();
+}
+
+}  // namespace treesched

@@ -1,0 +1,32 @@
+// Exact optimum by branch and bound, used as the ground truth for the
+// approximation-ratio experiments on small instances.
+//
+// Branching is per *demand* (choose one of its instances or skip it),
+// demands ordered by descending profit; the bound adds the full profits
+// of all undecided demands, which is admissible because a demand
+// contributes at most its profit.  Feasibility is tracked incrementally
+// with LoadTracker, so heights and non-uniform capacities are handled
+// uniformly.
+#pragma once
+
+#include <cstdint>
+
+#include "model/problem.hpp"
+#include "model/solution.hpp"
+
+namespace treesched {
+
+struct ExactResult {
+  Solution solution;
+  Profit profit = 0.0;
+  std::int64_t nodes = 0;  // search nodes explored
+  bool completed = true;   // false when the node limit was hit
+};
+
+// Exact maximum-profit feasible solution.  `node_limit` bounds the search;
+// when exceeded the best solution found so far is returned with
+// completed == false (callers in tests assert completion).
+ExactResult solve_exact(const Problem& problem,
+                        std::int64_t node_limit = 20'000'000);
+
+}  // namespace treesched

@@ -1,0 +1,35 @@
+#include "framework/certify.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+double observed_lambda(const Problem& problem, const DualState& dual,
+                       const RaiseRule& rule,
+                       const std::vector<char>& active_mask) {
+  double lambda = 1.0;
+  bool any = false;
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    if (!active_mask[static_cast<std::size_t>(i)]) continue;
+    const DemandInstance& inst = problem.instance(i);
+    const double lhs = dual.lhs(inst, rule.beta_coeff(inst));
+    const double level = lhs / inst.profit;
+    lambda = any ? std::min(lambda, level) : level;
+    any = true;
+  }
+  return any ? lambda : 1.0;
+}
+
+bool all_satisfied(const Problem& problem, const DualState& dual,
+                   const RaiseRule& rule, const std::vector<char>& active_mask,
+                   double level) {
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    if (!active_mask[static_cast<std::size_t>(i)]) continue;
+    const DemandInstance& inst = problem.instance(i);
+    const double lhs = dual.lhs(inst, rule.beta_coeff(inst));
+    if (lhs < level * inst.profit - kEps * inst.profit) return false;
+  }
+  return true;
+}
+
+}  // namespace treesched

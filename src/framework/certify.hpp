@@ -1,0 +1,30 @@
+// Dual certification helpers (paper, Lemma 3.1 proof): the dual
+// assignment produced by phase 1 is generally infeasible, but scaling it
+// by 1/lambda — where lambda is the minimum satisfaction level over all
+// (active) instances — yields a feasible dual whose objective upper
+// bounds OPT by weak duality.  These helpers compute the observed lambda
+// and validate satisfaction levels; the benchmarks use the resulting
+// certified bound wherever exact optima are out of reach.
+#pragma once
+
+#include <vector>
+
+#include "framework/dual_state.hpp"
+#include "framework/raise_rule.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+// min over active instances of LHS(d)/p(d); instances with mask 0 are
+// ignored.  An empty active set yields 1.0.
+double observed_lambda(const Problem& problem, const DualState& dual,
+                       const RaiseRule& rule,
+                       const std::vector<char>& active_mask);
+
+// True iff every active instance is `level`-satisfied (paper notation:
+// LHS >= level * p(d), with relative tolerance).
+bool all_satisfied(const Problem& problem, const DualState& dual,
+                   const RaiseRule& rule, const std::vector<char>& active_mask,
+                   double level);
+
+}  // namespace treesched

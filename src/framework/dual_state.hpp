@@ -1,0 +1,53 @@
+// Dual variable state for the primal-dual framework (paper, Section 3).
+//
+// alpha(a): one variable per demand (the "at most one instance per demand"
+// constraints); beta(e): one variable per global edge (the bandwidth
+// constraints).  The dual objective is sum alpha(a) + sum c(e) beta(e) —
+// with uniform capacities c == 1 this is the paper's objective; the
+// capacity weights implement the non-uniform LP of DESIGN.md Section 6.
+//
+// The LHS of the dual constraint of instance d is
+//     alpha(a_d) + coeff * sum_{e on path(d)} beta(e),
+// where coeff = 1 for the unit-height LP (Section 3.1) and coeff = h(d)
+// for the arbitrary-height LP (Section 6.1).  The raising rules supply
+// the coefficient.
+#pragma once
+
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+class DualState {
+ public:
+  explicit DualState(const Problem& problem);
+
+  double alpha(DemandId a) const {
+    return alpha_[static_cast<std::size_t>(a)];
+  }
+  double beta(EdgeId e) const { return beta_[static_cast<std::size_t>(e)]; }
+
+  // sum of beta over the instance's path edges.
+  double beta_sum(const DemandInstance& inst) const;
+
+  // LHS of the dual constraint of `inst` under the given beta coefficient.
+  double lhs(const DemandInstance& inst, double beta_coeff) const;
+
+  void raise_alpha(DemandId a, double amount);
+  void raise_beta(EdgeId e, double amount);
+
+  // Dual objective sum alpha + sum c(e) beta(e), maintained incrementally.
+  double objective() const { return objective_; }
+
+  const Problem& problem() const { return *problem_; }
+
+ private:
+  const Problem* problem_;
+  std::vector<double> alpha_;
+  std::vector<double> beta_;
+  double objective_ = 0.0;
+};
+
+}  // namespace treesched

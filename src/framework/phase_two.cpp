@@ -1,0 +1,61 @@
+// Phase 2 of the framework (paper, Section 3.2): pop the independent sets
+// in reverse raise order and keep each instance that preserves
+// feasibility.  Feasibility is checked against the true heights and
+// capacities, so the output solution is feasible for every problem
+// variant (unit, arbitrary-height, non-uniform bandwidth) by
+// construction; the approximation analysis is what changes per variant.
+#include <algorithm>
+
+#include "framework/two_phase.hpp"
+
+namespace treesched {
+
+Solution prune_stack(const Problem& problem,
+                     const std::vector<std::vector<InstanceId>>& stack) {
+  Solution solution;
+  LoadTracker tracker(problem);
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    for (InstanceId i : *it) {
+      if (tracker.fits(i)) {
+        tracker.add(i);
+        solution.selected.push_back(i);
+      }
+    }
+  }
+  return solution;
+}
+
+Solution prune_stack_forward(
+    const Problem& problem,
+    const std::vector<std::vector<InstanceId>>& stack) {
+  Solution solution;
+  LoadTracker tracker(problem);
+  for (const auto& level : stack) {
+    for (InstanceId i : level) {
+      if (tracker.fits(i)) {
+        tracker.add(i);
+        solution.selected.push_back(i);
+      }
+    }
+  }
+  return solution;
+}
+
+Solution prune_by_profit(const Problem& problem,
+                         std::vector<InstanceId> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [&](InstanceId a, InstanceId b) {
+              return problem.instance(a).profit > problem.instance(b).profit;
+            });
+  Solution solution;
+  LoadTracker tracker(problem);
+  for (InstanceId i : candidates) {
+    if (tracker.fits(i)) {
+      tracker.add(i);
+      solution.selected.push_back(i);
+    }
+  }
+  return solution;
+}
+
+}  // namespace treesched

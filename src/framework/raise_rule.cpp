@@ -1,0 +1,56 @@
+#include "framework/raise_rule.hpp"
+
+namespace treesched {
+
+const char* to_string(RaiseRuleKind kind) {
+  return kind == RaiseRuleKind::kUnit ? "unit" : "narrow";
+}
+
+double RaiseRule::delta(const DemandInstance& inst,
+                        std::span<const EdgeId> critical, double slack) const {
+  TS_DCHECK(slack > 0.0);
+  double inv_cap = 0.0;
+  for (EdgeId e : critical) inv_cap += 1.0 / effective_capacity(e);
+  const double alpha_term = raise_alpha_ ? 1.0 : 0.0;
+  if (kind_ == RaiseRuleKind::kUnit) {
+    TS_REQUIRE(raise_alpha_ || inv_cap > 0.0);
+    return slack / (alpha_term + inv_cap);
+  }
+  const auto k = static_cast<double>(critical.size());
+  TS_REQUIRE(raise_alpha_ || inv_cap > 0.0);
+  return slack / (alpha_term + 2.0 * inst.height * k * inv_cap);
+}
+
+double RaiseRule::beta_increment(const DemandInstance& inst,
+                                 std::span<const EdgeId> critical,
+                                 double delta, EdgeId e) const {
+  (void)inst;
+  const double c = effective_capacity(e);
+  if (kind_ == RaiseRuleKind::kUnit) return delta / c;
+  return 2.0 * static_cast<double>(critical.size()) * delta / c;
+}
+
+double RaiseRule::price_factor(int delta_size) const {
+  const auto d = static_cast<double>(delta_size);
+  const double alpha_term = raise_alpha_ ? 1.0 : 0.0;
+  if (kind_ == RaiseRuleKind::kUnit) return d + alpha_term;
+  return alpha_term + 2.0 * d * d;
+}
+
+double RaiseRule::default_xi(RaiseRuleKind kind, int delta_size,
+                             double h_min) {
+  const auto d = static_cast<double>(delta_size);
+  if (kind == RaiseRuleKind::kUnit) {
+    // xi = 2 Delta' / (2 Delta' + 1), Delta' = Delta + 1 (paper, Sec. 5).
+    const double dp = d + 1.0;
+    return (2.0 * dp) / (2.0 * dp + 1.0);
+  }
+  // xi = C / (C + h_min), C = 1 + 2 Delta^2 (paper, Sec. 6: "xi =
+  // c/(c+h_min) for a suitable constant c"); the kill-chain condition
+  // xi/(1-xi) >= (1+2 Delta^2)/h_min then guarantees profit doubling.
+  TS_REQUIRE(h_min > 0.0);
+  const double c = 1.0 + 2.0 * d * d;
+  return c / (c + h_min);
+}
+
+}  // namespace treesched

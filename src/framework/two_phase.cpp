@@ -1,0 +1,353 @@
+#include "framework/two_phase.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "framework/certify.hpp"
+
+namespace treesched {
+
+// ---------------------------------------------------------------------------
+// GreedyMis
+
+GreedyMis::GreedyMis(const Problem& problem)
+    : problem_(&problem),
+      edge_stamp_(static_cast<std::size_t>(problem.num_global_edges()), 0),
+      demand_stamp_(static_cast<std::size_t>(problem.num_demands()), 0) {}
+
+MisResult GreedyMis::run(std::span<const InstanceId> candidates) {
+  ++stamp_;
+  MisResult result;
+  result.rounds = 1;
+  for (InstanceId i : candidates) {
+    const DemandInstance& inst = problem_->instance(i);
+    if (demand_stamp_[static_cast<std::size_t>(inst.demand)] == stamp_)
+      continue;
+    bool blocked = false;
+    for (EdgeId e : inst.edges) {
+      if (edge_stamp_[static_cast<std::size_t>(e)] == stamp_) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    demand_stamp_[static_cast<std::size_t>(inst.demand)] = stamp_;
+    for (EdgeId e : inst.edges)
+      edge_stamp_[static_cast<std::size_t>(e)] = stamp_;
+    result.selected.push_back(i);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SolveStats
+
+void SolveStats::merge(const SolveStats& other) {
+  epochs += other.epochs;
+  stages += other.stages;
+  steps += other.steps;
+  max_steps_in_stage = std::max(max_steps_in_stage, other.max_steps_in_stage);
+  raises += other.raises;
+  mis_rounds += other.mis_rounds;
+  comm_rounds += other.comm_rounds;
+  messages += other.messages;
+  message_bytes += other.message_bytes;
+  dual_objective += other.dual_objective;
+  dual_upper_bound += other.dual_upper_bound;
+  lambda_observed = (lambda_observed == 0.0)
+                        ? other.lambda_observed
+                        : std::min(lambda_observed, other.lambda_observed);
+  delta = std::max(delta, other.delta);
+  xi = std::max(xi, other.xi);
+  stages_per_epoch = std::max(stages_per_epoch, other.stages_per_epoch);
+  interference_ok = interference_ok && other.interference_ok;
+  lockstep_ok = lockstep_ok && other.lockstep_ok;
+}
+
+// ---------------------------------------------------------------------------
+// TwoPhaseEngine
+
+TwoPhaseEngine::TwoPhaseEngine(const Problem& problem, const LayeredPlan& plan,
+                               SolverConfig config, MisOracle* oracle)
+    : problem_(&problem),
+      plan_(&plan),
+      config_(config),
+      oracle_(oracle),
+      active_mask_(static_cast<std::size_t>(problem.num_instances()), 1),
+      demand_seen_stamp_(static_cast<std::size_t>(problem.num_demands()), 0) {
+  TS_REQUIRE(problem.finalized());
+  TS_REQUIRE(plan.group.size() ==
+             static_cast<std::size_t>(problem.num_instances()));
+  TS_REQUIRE(config_.epsilon > 0.0 && config_.epsilon < 1.0);
+  if (oracle_ == nullptr) {
+    default_oracle_ = std::make_unique<GreedyMis>(problem);
+    oracle_ = default_oracle_.get();
+  }
+}
+
+void TwoPhaseEngine::restrict_to(std::vector<InstanceId> active) {
+  std::fill(active_mask_.begin(), active_mask_.end(), 0);
+  for (InstanceId i : active) {
+    TS_REQUIRE(i >= 0 && i < problem_->num_instances());
+    active_mask_[static_cast<std::size_t>(i)] = 1;
+  }
+}
+
+void TwoPhaseEngine::count_notifications(InstanceId i, SolveStats& stats) {
+  // A raised processor transmits its new dual values to every processor
+  // owning an instance that shares an edge with the raised path (they
+  // share beta variables).  Message payload is one demand record: end
+  // points, network, profit, height and the raise amount (paper: O(M)
+  // bits per message); we charge 48 bytes.
+  ++notify_stamp_;
+  const DemandInstance& inst = problem_->instance(i);
+  std::int64_t neighbors = 0;
+  for (EdgeId e : inst.edges) {
+    for (InstanceId other : problem_->instances_on_edge(e)) {
+      const DemandId od = problem_->instance(other).demand;
+      if (od == inst.demand) continue;
+      if (demand_seen_stamp_[static_cast<std::size_t>(od)] == notify_stamp_)
+        continue;
+      demand_seen_stamp_[static_cast<std::size_t>(od)] = notify_stamp_;
+      ++neighbors;
+    }
+  }
+  stats.messages += neighbors;
+  stats.message_bytes += neighbors * 48;
+}
+
+void TwoPhaseEngine::raise(InstanceId i, DualState& dual, SolveStats& stats,
+                           std::vector<InstanceId>& raised_order) {
+  const DemandInstance& inst = problem_->instance(i);
+  const RaiseRule rule(config_.rule, *problem_, config_.raise_alpha,
+                       config_.capacity_aware_raises);
+  const auto& critical = plan_->critical[static_cast<std::size_t>(i)];
+  const double lhs = dual.lhs(inst, rule.beta_coeff(inst));
+  const double slack = inst.profit - lhs;
+  TS_DCHECK(slack > 0.0);
+  const double delta = rule.delta(inst, critical, slack);
+  if (config_.raise_alpha) dual.raise_alpha(inst.demand, delta);
+  for (EdgeId e : critical)
+    dual.raise_beta(e, rule.beta_increment(inst, critical, delta, e));
+  // The raise must satisfy d's constraint tightly (paper, Section 3.2).
+  TS_DCHECK(std::abs(dual.lhs(inst, rule.beta_coeff(inst)) - inst.profit) <=
+            1e-6 * std::max(1.0, inst.profit));
+  ++stats.raises;
+
+  if (config_.check_interference) {
+    // Every previously raised overlapping instance must have a critical
+    // edge on path(i) (the interference property).
+    for (InstanceId prev : raised_order) {
+      if (!problem_->overlap(prev, i)) continue;
+      const auto& path_i = problem_->instance(i).edges;
+      bool hit = false;
+      for (EdgeId e : plan_->critical[static_cast<std::size_t>(prev)]) {
+        if (std::binary_search(path_i.begin(), path_i.end(), e)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) stats.interference_ok = false;
+    }
+  }
+  raised_order.push_back(i);
+
+  if (config_.count_messages) count_notifications(i, stats);
+}
+
+SolveResult TwoPhaseEngine::run() {
+  SolveResult result;
+  SolveStats& stats = result.stats;
+  DualState dual(*problem_);
+  const RaiseRule rule(config_.rule, *problem_, config_.raise_alpha,
+                       config_.capacity_aware_raises);
+
+  // Delta and h_min over the active instances only: the wide/narrow split
+  // runs see different effective parameters.
+  double h_min = 1.0;
+  stats.delta = 0;
+  bool any_active = false;
+  for (InstanceId i = 0; i < problem_->num_instances(); ++i) {
+    if (!is_active(i)) continue;
+    any_active = true;
+    h_min = std::min(h_min, problem_->instance(i).height);
+    stats.delta =
+        std::max(stats.delta,
+                 static_cast<int>(plan_->critical[static_cast<std::size_t>(i)]
+                                      .size()));
+  }
+  if (!any_active) {
+    stats.lambda_observed = 1.0;
+    return result;
+  }
+
+  const double xi =
+      config_.xi_override > 0.0
+          ? config_.xi_override
+          : RaiseRule::default_xi(config_.rule, stats.delta, h_min);
+  stats.xi = xi;
+
+  int stages_per_epoch = 1;
+  double fixed_threshold = 1.0;  // kExact: raise until tight (lambda = 1)
+  if (config_.stage_mode == StageMode::kMultiStage) {
+    // Smallest b with xi^b <= eps.
+    stages_per_epoch = static_cast<int>(
+        std::ceil(std::log(config_.epsilon) / std::log(xi)));
+    stages_per_epoch = std::max(stages_per_epoch, 1);
+  } else if (config_.stage_mode == StageMode::kSingleStagePS) {
+    // Panconesi-Sozio: a single stage per epoch with retirement at
+    // 1/(5+eps)-satisfaction.
+    fixed_threshold = 1.0 / (5.0 + config_.epsilon);
+  }
+  stats.stages_per_epoch = stages_per_epoch;
+
+  std::vector<std::vector<InstanceId>> stack;
+  std::vector<InstanceId> raised_order;
+  std::vector<InstanceId> members, unsatisfied;
+
+  for (int g = 0; g < plan_->num_groups; ++g) {
+    members.clear();
+    for (InstanceId i : plan_->members[static_cast<std::size_t>(g)])
+      if (is_active(i)) members.push_back(i);
+    if (members.empty()) continue;
+    ++stats.epochs;
+
+    // Lockstep mode: the fixed per-stage budget of Lemma 5.1 (profits
+    // double along kill chains, so ~log2(pmax/pmin) steps suffice).
+    const int lockstep_budget =
+        1 + config_.lockstep_slack +
+        static_cast<int>(std::ceil(
+            std::log2(problem_->max_profit() / problem_->min_profit())));
+
+    for (int j = 1; j <= stages_per_epoch; ++j) {
+      const double target = config_.stage_mode == StageMode::kMultiStage
+                                ? 1.0 - std::pow(xi, j)
+                                : fixed_threshold;
+      ++stats.stages;
+      int steps_this_stage = 0;
+      for (;;) {
+        unsatisfied.clear();
+        for (InstanceId i : members) {
+          const DemandInstance& inst = problem_->instance(i);
+          const double lhs = dual.lhs(inst, rule.beta_coeff(inst));
+          if (lhs < target * inst.profit - kEps * inst.profit)
+            unsatisfied.push_back(i);
+        }
+        if (config_.lockstep) {
+          if (steps_this_stage >= lockstep_budget) {
+            // The budget is exhausted; Lemma 5.1 predicts U is empty.
+            if (!unsatisfied.empty()) stats.lockstep_ok = false;
+            break;
+          }
+          if (unsatisfied.empty()) {
+            // Idle step: processors still execute the protocol (they
+            // cannot observe global emptiness) — 2 MIS rounds + 1
+            // propagation round of silence.
+            ++stats.steps;
+            ++steps_this_stage;
+            stats.mis_rounds += 2;
+            stats.comm_rounds += 3;
+            continue;
+          }
+        } else if (unsatisfied.empty()) {
+          break;
+        }
+        const MisResult mis = oracle_->run(
+            std::span<const InstanceId>(unsatisfied.data(),
+                                        unsatisfied.size()));
+        TS_REQUIRE(!mis.selected.empty());
+        for (InstanceId i : mis.selected)
+          raise(i, dual, stats, raised_order);
+        stack.push_back(mis.selected);
+        ++stats.steps;
+        ++steps_this_stage;
+        stats.mis_rounds += mis.rounds;
+        stats.comm_rounds += mis.rounds + 1;  // +1: dual propagation
+        TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
+      }
+      stats.max_steps_in_stage =
+          std::max(stats.max_steps_in_stage, steps_this_stage);
+    }
+  }
+
+  // Certification: observed slackness over active instances and the
+  // resulting feasible-dual upper bound (weak duality after scaling).
+  stats.dual_objective = dual.objective();
+  stats.lambda_observed =
+      observed_lambda(*problem_, dual, rule, active_mask_);
+  stats.dual_upper_bound =
+      stats.dual_objective / std::min(1.0, stats.lambda_observed);
+
+  result.solution = prune_stack(*problem_, stack);
+  stats.profit = result.solution.profit(*problem_);
+  if (config_.keep_stack) result.raise_stack = std::move(stack);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers
+
+SolveResult solve_with_plan(const Problem& problem, const LayeredPlan& plan,
+                            const SolverConfig& config, MisOracle* oracle) {
+  TwoPhaseEngine engine(problem, plan, config, oracle);
+  return engine.run();
+}
+
+SolveResult solve_height_split(const Problem& problem, const LayeredPlan& plan,
+                               const SolverConfig& config, MisOracle* oracle) {
+  std::vector<InstanceId> wide, narrow;
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    if (problem.instance(i).height > 0.5)
+      wide.push_back(i);
+    else
+      narrow.push_back(i);
+  }
+
+  SolveResult combined;
+  std::vector<SolveResult> parts;
+  if (!wide.empty()) {
+    SolverConfig wide_config = config;
+    wide_config.rule = RaiseRuleKind::kUnit;
+    TwoPhaseEngine engine(problem, plan, wide_config, oracle);
+    engine.restrict_to(wide);
+    parts.push_back(engine.run());
+  }
+  if (!narrow.empty()) {
+    SolverConfig narrow_config = config;
+    narrow_config.rule = RaiseRuleKind::kNarrow;
+    TwoPhaseEngine engine(problem, plan, narrow_config, oracle);
+    engine.restrict_to(narrow);
+    parts.push_back(engine.run());
+  }
+  if (parts.size() == 1) return std::move(parts.front());
+  TS_REQUIRE(parts.size() == 2);
+
+  // Per-network better-of combination (paper, Theorem 6.3): every demand
+  // is entirely wide or entirely narrow, so the union cannot schedule a
+  // demand twice, and each network carries one sub-solution only.
+  const SolveResult& s1 = parts[0];
+  const SolveResult& s2 = parts[1];
+  std::vector<double> profit1(static_cast<std::size_t>(problem.num_networks()),
+                              0.0);
+  std::vector<double> profit2 = profit1;
+  for (InstanceId i : s1.solution.selected)
+    profit1[static_cast<std::size_t>(problem.instance(i).network)] +=
+        problem.instance(i).profit;
+  for (InstanceId i : s2.solution.selected)
+    profit2[static_cast<std::size_t>(problem.instance(i).network)] +=
+        problem.instance(i).profit;
+  for (InstanceId i : s1.solution.selected) {
+    const auto q = static_cast<std::size_t>(problem.instance(i).network);
+    if (profit1[q] >= profit2[q]) combined.solution.selected.push_back(i);
+  }
+  for (InstanceId i : s2.solution.selected) {
+    const auto q = static_cast<std::size_t>(problem.instance(i).network);
+    if (profit1[q] < profit2[q]) combined.solution.selected.push_back(i);
+  }
+  combined.stats = s1.stats;
+  combined.stats.merge(s2.stats);
+  combined.stats.profit = combined.solution.profit(problem);
+  return combined;
+}
+
+}  // namespace treesched

@@ -1,0 +1,201 @@
+// The two-phase primal-dual engine (paper, Sections 3.2, 5 and 6).
+//
+// Phase 1 processes the layered-decomposition groups in ascending order
+// (epochs).  Each epoch runs one or more *stages*; stage j targets the
+// satisfaction level (1 - xi^j).  A stage repeats *steps*: compute a
+// maximal independent set I of the still-unsatisfied group members in the
+// conflict graph, raise every d in I tightly, and push I onto the stack.
+// Phase 2 pops the stack in reverse and keeps every instance that still
+// fits (true capacity feasibility, so the output is feasible for every
+// height/capacity profile by construction).
+//
+// Two stage schedules are supported:
+//  - kMultiStage (this paper): b = ceil(log_xi eps) stages per epoch,
+//    final slackness lambda = 1 - eps;
+//  - kSingleStagePS (Panconesi-Sozio baseline, Remark after Thm 5.3): one
+//    stage per epoch with permanent retirement at threshold 1/(5+eps),
+//    i.e. lambda = 1/(5+eps).
+//
+// The engine is deliberately independent of *how* the MIS is computed: it
+// takes a MisOracle.  The default greedy oracle models the sequential
+// algorithms; dist/ supplies the round-counting Luby oracle for the
+// distributed ones.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "decomp/layered.hpp"
+#include "framework/dual_state.hpp"
+#include "framework/raise_rule.hpp"
+#include "model/problem.hpp"
+#include "model/solution.hpp"
+
+namespace treesched {
+
+struct MisResult {
+  std::vector<InstanceId> selected;
+  int rounds = 1;  // communication rounds consumed by this MIS computation
+};
+
+// Maximal independent set oracle over the instance conflict graph
+// (conflicting = same demand or overlapping paths; paper, Section 2).
+class MisOracle {
+ public:
+  virtual ~MisOracle() = default;
+  virtual MisResult run(std::span<const InstanceId> candidates) = 0;
+};
+
+// Deterministic greedy MIS in instance-id order; 1 round (models local
+// sequential selection; used by the sequential algorithms and as a fast
+// stand-in when round counting is irrelevant).
+class GreedyMis : public MisOracle {
+ public:
+  explicit GreedyMis(const Problem& problem);
+  MisResult run(std::span<const InstanceId> candidates) override;
+
+ private:
+  const Problem* problem_;
+  std::vector<int> edge_stamp_;
+  std::vector<int> demand_stamp_;
+  int stamp_ = 0;
+};
+
+// kMultiStage: this paper's xi-boosting schedule, lambda = 1-eps.
+// kSingleStagePS: Panconesi-Sozio baseline, lambda = 1/(5+eps).
+// kExact: raise every instance until its constraint is *tight* (lambda=1);
+// this is the sequential regime (Appendix A / Bar-Noy) — steps per group
+// are no longer polylog-bounded, matching the paper's remark that the
+// sequential round complexity can reach n.
+enum class StageMode { kMultiStage, kSingleStagePS, kExact };
+
+struct SolverConfig {
+  double epsilon = 0.1;  // target slackness 1-eps (multi-stage mode)
+  RaiseRuleKind rule = RaiseRuleKind::kUnit;
+  StageMode stage_mode = StageMode::kMultiStage;
+  // Appendix-A single-network refinement: skip the alpha raise (sound
+  // only when every demand has a single instance).
+  bool raise_alpha = true;
+  // DESIGN.md Sec. 6 capacity-aware increments (true) vs the paper's
+  // uniform increments applied verbatim (false; bench_t5 ablation arm).
+  bool capacity_aware_raises = true;
+  // Lockstep schedule (paper, Section 5 "Distributed Implementation"):
+  // processors cannot test global emptiness of U, so every stage runs a
+  // *fixed* budget of ceil(1 + log2(pmax/pmin)) + lockstep_slack steps,
+  // idle steps costing 3 rounds each (one Luby iteration + propagation).
+  // Lemma 5.1 guarantees the budget suffices; stats.lockstep_ok reports
+  // whether it did.
+  bool lockstep = false;
+  int lockstep_slack = 2;
+  // Retain the raise stack in SolveResult (for the phase-2 ablations).
+  bool keep_stack = false;
+  // xi override for ablations; 0 = derive from the rule, Delta and h_min.
+  double xi_override = 0.0;
+  // Runtime verification of the interference property (quadratic; tests).
+  bool check_interference = false;
+  // Count per-raise notification messages (distributed accounting).
+  bool count_messages = false;
+  // Hard safety cap on steps per stage.
+  int max_steps_per_stage = 200000;
+};
+
+struct SolveStats {
+  int epochs = 0;          // non-empty groups processed
+  int stages = 0;          // stages actually run
+  int steps = 0;           // framework iterations (MIS + raise)
+  int max_steps_in_stage = 0;
+  std::int64_t raises = 0;          // total instances raised
+  std::int64_t mis_rounds = 0;      // rounds consumed by MIS computations
+  std::int64_t comm_rounds = 0;     // mis_rounds + 1 raise-notify per step
+  std::int64_t messages = 0;        // raise notifications (if counted)
+  std::int64_t message_bytes = 0;   // messages * per-demand record size
+  double dual_objective = 0.0;      // sum alpha + sum c(e) beta(e)
+  double lambda_observed = 0.0;     // min LHS/p over active instances
+  double dual_upper_bound = 0.0;    // dual_objective / min(1, lambda)
+  int delta = 0;                    // max |pi(d)| over active instances
+  double xi = 0.0;
+  int stages_per_epoch = 0;
+  double profit = 0.0;
+  bool interference_ok = true;
+  // Lockstep mode only: true iff the fixed per-stage step budget left no
+  // unsatisfied instance behind (Lemma 5.1's prediction).
+  bool lockstep_ok = true;
+
+  // Merge for combined (wide + narrow) runs: counts add, bounds add,
+  // lambda takes the min.
+  void merge(const SolveStats& other);
+};
+
+struct SolveResult {
+  Solution solution;
+  SolveStats stats;
+  // The raise stack (one entry per step, in raise order); populated only
+  // when SolverConfig::keep_stack is set.
+  std::vector<std::vector<InstanceId>> raise_stack;
+};
+
+class TwoPhaseEngine {
+ public:
+  // `plan` must cover every instance of `problem`.  `oracle` may be null
+  // (defaults to GreedyMis).  Neither is copied; both must outlive the
+  // engine.
+  TwoPhaseEngine(const Problem& problem, const LayeredPlan& plan,
+                 SolverConfig config, MisOracle* oracle = nullptr);
+
+  // Restrict phase 1 to a subset of instances (wide/narrow split).  Phase
+  // 2 still enforces feasibility against the full capacity profile.
+  void restrict_to(std::vector<InstanceId> active);
+
+  SolveResult run();
+
+ private:
+  bool is_active(InstanceId i) const {
+    return active_mask_[static_cast<std::size_t>(i)] != 0;
+  }
+  void raise(InstanceId i, DualState& dual, SolveStats& stats,
+             std::vector<InstanceId>& raised_order);
+  void count_notifications(InstanceId i, SolveStats& stats);
+
+  const Problem* problem_;
+  const LayeredPlan* plan_;
+  SolverConfig config_;
+  MisOracle* oracle_;
+  std::unique_ptr<GreedyMis> default_oracle_;
+  std::vector<char> active_mask_;
+  std::vector<int> demand_seen_stamp_;
+  int notify_stamp_ = 0;
+};
+
+// Reverse greedy pruning of the raise stack (phase 2 of the framework).
+Solution prune_stack(const Problem& problem,
+                     const std::vector<std::vector<InstanceId>>& stack);
+
+// Ablation pruners (bench_f11): these do NOT carry the Lemma 3.1
+// guarantee; they exist to measure what the reverse-stack order buys.
+// Forward-stack pruning pops in *raise* order (earliest first) — the
+// analysis breaks because a kept instance no longer dominates its
+// predecessors' raise amounts.
+Solution prune_stack_forward(const Problem& problem,
+                             const std::vector<std::vector<InstanceId>>& stack);
+// Profit-greedy over a candidate set, ignoring raise order entirely.
+Solution prune_by_profit(const Problem& problem,
+                         std::vector<InstanceId> candidates);
+
+// Convenience wrappers -----------------------------------------------------
+
+// Runs the engine on all instances with the given plan/config.
+SolveResult solve_with_plan(const Problem& problem, const LayeredPlan& plan,
+                            const SolverConfig& config,
+                            MisOracle* oracle = nullptr);
+
+// Arbitrary-height driver (paper, Section 6 "Overall Algorithm"): runs the
+// unit rule on wide instances (h > 1/2) and the narrow rule on the rest,
+// then combines by keeping, per network, the more profitable of the two
+// per-network sub-solutions.  Stats are merged; the dual upper bounds add.
+SolveResult solve_height_split(const Problem& problem, const LayeredPlan& plan,
+                               const SolverConfig& config,
+                               MisOracle* oracle = nullptr);
+
+}  // namespace treesched

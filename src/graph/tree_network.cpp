@@ -1,0 +1,166 @@
+#include "graph/tree_network.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+std::uint64_t TreeNetwork::edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+TreeNetwork::TreeNetwork(VertexId num_vertices,
+                         std::vector<std::pair<VertexId, VertexId>> edges)
+    : n_(num_vertices) {
+  check_input(n_ >= 1, "tree network needs at least one vertex");
+  check_input(static_cast<VertexId>(edges.size()) == n_ - 1,
+              "tree network needs exactly n-1 edges");
+
+  adj_.resize(static_cast<std::size_t>(n_));
+  edge_u_.reserve(edges.size());
+  edge_v_.reserve(edges.size());
+  for (EdgeId e = 0; e < static_cast<EdgeId>(edges.size()); ++e) {
+    const auto [u, v] = edges[static_cast<std::size_t>(e)];
+    check_input(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v,
+                "edge endpoints out of range");
+    check_input(!edge_index_.contains(edge_key(u, v)), "duplicate edge");
+    edge_u_.push_back(u);
+    edge_v_.push_back(v);
+    adj_[static_cast<std::size_t>(u)].push_back({v, e});
+    adj_[static_cast<std::size_t>(v)].push_back({u, e});
+    edge_index_.emplace(edge_key(u, v), e);
+  }
+
+  // BFS from vertex 0: parents, depths, connectivity check.
+  parent_.assign(static_cast<std::size_t>(n_), kNoVertex);
+  parent_edge_.assign(static_cast<std::size_t>(n_), kNoEdge);
+  depth_.assign(static_cast<std::size_t>(n_), -1);
+  bfs_order_.clear();
+  bfs_order_.reserve(static_cast<std::size_t>(n_));
+  bfs_order_.push_back(0);
+  depth_[0] = 0;
+  for (std::size_t head = 0; head < bfs_order_.size(); ++head) {
+    const VertexId v = bfs_order_[head];
+    for (const Adj& a : adj_[static_cast<std::size_t>(v)]) {
+      if (depth_[static_cast<std::size_t>(a.to)] < 0) {
+        depth_[static_cast<std::size_t>(a.to)] = depth_[v] + 1;
+        parent_[static_cast<std::size_t>(a.to)] = v;
+        parent_edge_[static_cast<std::size_t>(a.to)] = a.edge;
+        bfs_order_.push_back(a.to);
+      }
+    }
+  }
+  check_input(static_cast<VertexId>(bfs_order_.size()) == n_,
+              "tree network must be connected");
+
+  // Binary lifting table.
+  log_ = 1;
+  while ((1 << log_) < n_) ++log_;
+  up_.assign(static_cast<std::size_t>(log_ + 1),
+             std::vector<VertexId>(static_cast<std::size_t>(n_), 0));
+  for (VertexId v = 0; v < n_; ++v)
+    up_[0][static_cast<std::size_t>(v)] = (parent_[v] == kNoVertex) ? v
+                                                                    : parent_[v];
+  for (int k = 1; k <= log_; ++k)
+    for (VertexId v = 0; v < n_; ++v)
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
+          up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(
+              up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(
+                  v)])];
+}
+
+VertexId TreeNetwork::lca(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  if (depth_[u] < depth_[v]) std::swap(u, v);
+  int diff = depth_[u] - depth_[v];
+  for (int k = 0; diff; ++k, diff >>= 1)
+    if (diff & 1)
+      u = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+  if (u == v) return u;
+  for (int k = log_; k >= 0; --k) {
+    const VertexId uu =
+        up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    const VertexId vv =
+        up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+    if (uu != vv) {
+      u = uu;
+      v = vv;
+    }
+  }
+  return parent_[u];
+}
+
+int TreeNetwork::dist(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  return depth_[u] + depth_[v] - 2 * depth_[w];
+}
+
+bool TreeNetwork::on_path(VertexId x, VertexId u, VertexId v) const {
+  return dist(u, x) + dist(x, v) == dist(u, v);
+}
+
+VertexId TreeNetwork::median(VertexId a, VertexId b, VertexId c) const {
+  const VertexId x = lca(a, b);
+  const VertexId y = lca(a, c);
+  const VertexId z = lca(b, c);
+  // Exactly two of the three LCAs coincide; the remaining (deepest) one is
+  // the median.
+  if (x == y) return z;
+  if (x == z) return y;
+  return x;
+}
+
+std::vector<EdgeId> TreeNetwork::path_edges(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  std::vector<EdgeId> down;  // edges from u climbing to w
+  VertexId x = u;
+  while (x != w) {
+    down.push_back(parent_edge_[x]);
+    x = parent_[x];
+  }
+  std::vector<EdgeId> up;  // edges from v climbing to w (to be reversed)
+  x = v;
+  while (x != w) {
+    up.push_back(parent_edge_[x]);
+    x = parent_[x];
+  }
+  down.insert(down.end(), up.rbegin(), up.rend());
+  return down;
+}
+
+std::vector<VertexId> TreeNetwork::path_vertices(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  std::vector<VertexId> front;
+  VertexId x = u;
+  while (x != w) {
+    front.push_back(x);
+    x = parent_[x];
+  }
+  front.push_back(w);
+  std::vector<VertexId> back;
+  x = v;
+  while (x != w) {
+    back.push_back(x);
+    x = parent_[x];
+  }
+  front.insert(front.end(), back.rbegin(), back.rend());
+  return front;
+}
+
+EdgeId TreeNetwork::edge_between(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto it = edge_index_.find(edge_key(u, v));
+  return it == edge_index_.end() ? kNoEdge : it->second;
+}
+
+TreeNetwork TreeNetwork::line(VertexId num_vertices) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices - 1));
+  for (VertexId i = 0; i + 1 < num_vertices; ++i) edges.emplace_back(i, i + 1);
+  return TreeNetwork(num_vertices, std::move(edges));
+}
+
+}  // namespace treesched

@@ -1,0 +1,44 @@
+#include "lp/relaxation.hpp"
+
+namespace treesched {
+
+LpRelaxationResult lp_optimum(const Problem& problem) {
+  TS_REQUIRE(problem.finalized());
+  const auto n = static_cast<std::size_t>(problem.num_instances());
+
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+
+  // Edge constraints — only edges actually used by an instance matter.
+  for (EdgeId e = 0; e < problem.num_global_edges(); ++e) {
+    const auto& on_edge = problem.instances_on_edge(e);
+    if (on_edge.empty()) continue;
+    std::vector<double> row(n, 0.0);
+    for (InstanceId i : on_edge)
+      row[static_cast<std::size_t>(i)] = problem.instance(i).height;
+    a.push_back(std::move(row));
+    b.push_back(problem.capacity(e));
+  }
+  // Demand constraints.
+  for (DemandId d = 0; d < problem.num_demands(); ++d) {
+    std::vector<double> row(n, 0.0);
+    for (InstanceId i : problem.instances_of_demand(d))
+      row[static_cast<std::size_t>(i)] = 1.0;
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+
+  std::vector<double> c(n);
+  for (InstanceId i = 0; i < problem.num_instances(); ++i)
+    c[static_cast<std::size_t>(i)] = problem.instance(i).profit;
+
+  const LpResult lp = solve_lp_max(a, b, c);
+  TS_REQUIRE(lp.status == LpResult::Status::kOptimal);  // always bounded
+  LpRelaxationResult result;
+  result.value = lp.value;
+  result.x = lp.x;
+  result.num_constraints = static_cast<int>(a.size());
+  return result;
+}
+
+}  // namespace treesched

@@ -1,0 +1,28 @@
+// The paper's LP relaxation of a Problem (Section 3.1 for unit heights,
+// Section 6.1 with heights, DESIGN.md Sec. 6 with capacities):
+//
+//   max  sum_d x(d) p(d)
+//   s.t. sum_{d ~ e} x(d) h(d) <= c(e)          for every used edge e
+//        sum_{d in Inst(a)} x(d) <= 1            for every demand a
+//        x >= 0                                  (x <= 1 implied)
+//
+// lp_optimum() solves it exactly with the dense simplex; it upper-bounds
+// the integral optimum and lower-bounds every feasible dual value, which
+// makes it the reference point for integrality gaps and for validating
+// the engine's dual certificates.
+#pragma once
+
+#include "lp/simplex.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+struct LpRelaxationResult {
+  double value = 0.0;
+  std::vector<double> x;  // per instance
+  int num_constraints = 0;
+};
+
+LpRelaxationResult lp_optimum(const Problem& problem);
+
+}  // namespace treesched

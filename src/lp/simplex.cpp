@@ -1,0 +1,88 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+
+namespace treesched {
+
+LpResult solve_lp_max(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c) {
+  const std::size_t m = a.size();
+  const std::size_t n = c.size();
+  TS_REQUIRE(b.size() == m);
+  for (const auto& row : a) TS_REQUIRE(row.size() == n);
+  for (double bi : b) check_input(bi >= 0.0, "simplex requires b >= 0");
+
+  constexpr double kTol = 1e-9;
+
+  // Tableau: m rows x (n + m + 1) columns; columns n..n+m-1 are slacks,
+  // last column is the RHS.  basis[i] = variable index basic in row i.
+  std::vector<std::vector<double>> t(m, std::vector<double>(n + m + 1, 0.0));
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = a[i][j];
+    t[i][n + i] = 1.0;
+    t[i][n + m] = b[i];
+    basis[i] = n + i;
+  }
+  // Objective row (reduced costs of the maximization, negated so that a
+  // positive entry means "improving").
+  std::vector<double> z(n + m + 1, 0.0);
+  for (std::size_t j = 0; j < n; ++j) z[j] = c[j];
+
+  LpResult result;
+  for (;;) {
+    // Bland's rule: entering variable = smallest index with z > 0.
+    std::size_t enter = n + m;
+    for (std::size_t j = 0; j < n + m; ++j) {
+      if (z[j] > kTol) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == n + m) break;  // optimal
+
+    // Ratio test; Bland tie-break on the basic variable index.
+    std::size_t leave = m;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][enter] <= kTol) continue;
+      const double ratio = t[i][n + m] / t[i][enter];
+      if (leave == m || ratio < best_ratio - kTol ||
+          (std::abs(ratio - best_ratio) <= kTol &&
+           basis[i] < basis[leave])) {
+        leave = i;
+        best_ratio = ratio;
+      }
+    }
+    if (leave == m) {
+      result.status = LpResult::Status::kUnbounded;
+      return result;
+    }
+
+    // Pivot on (leave, enter).
+    const double pivot = t[leave][enter];
+    for (double& v : t[leave]) v /= pivot;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == leave) continue;
+      const double factor = t[i][enter];
+      if (std::abs(factor) <= kTol) continue;
+      for (std::size_t j = 0; j <= n + m; ++j)
+        t[i][j] -= factor * t[leave][j];
+    }
+    const double zf = z[enter];
+    for (std::size_t j = 0; j <= n + m; ++j) z[j] -= zf * t[leave][j];
+    basis[leave] = enter;
+  }
+
+  result.status = LpResult::Status::kOptimal;
+  result.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    if (basis[i] < n) result.x[basis[i]] = t[i][n + m];
+  double value = 0.0;
+  for (std::size_t j = 0; j < n; ++j) value += c[j] * result.x[j];
+  result.value = value;
+  return result;
+}
+
+}  // namespace treesched

@@ -1,0 +1,33 @@
+// Dense primal simplex for the paper's LP relaxation (Section 3.1 / 6.1).
+//
+// Solves   max c^T x   s.t.  A x <= b,  x >= 0   with b >= 0 (our
+// relaxations always have non-negative right-hand sides: edge capacities
+// and the per-demand 1s), so no phase-1 is needed.  Bland's rule
+// guarantees termination on degenerate instances.  Problem sizes here are
+// tiny (#instances variables, #edges + #demands constraints), so a dense
+// tableau is the right tool.
+//
+// The LP optimum is the third leg of the verification triangle used by
+// the tests and bench_f10:  exact OPT  <=  LP optimum  <=  certified dual
+// bound (the engine's scaled dual is feasible for the same LP).
+#pragma once
+
+#include <vector>
+
+#include "common/prelude.hpp"
+
+namespace treesched {
+
+struct LpResult {
+  enum class Status { kOptimal, kUnbounded };
+  Status status = Status::kOptimal;
+  double value = 0.0;
+  std::vector<double> x;  // primal solution (empty when unbounded)
+};
+
+// A is row-major (one row per constraint).  Requires b[i] >= 0.
+LpResult solve_lp_max(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c);
+
+}  // namespace treesched

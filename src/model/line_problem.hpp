@@ -1,0 +1,61 @@
+// LineProblem: the line-networks-with-windows formulation (paper, Sections
+// 1 and 7).  The timeline is divided into `num_slots` discrete timeslots
+// 0..num_slots-1; each of the r resources offers the whole timeline; a
+// demand specifies a window [release, deadline], a processing time rho, a
+// profit and a height, and may run on any accessible resource, occupying
+// rho *contiguous* slots inside its window.
+//
+// lower() reduces this to the tree formulation (paper, Section 7: "the
+// time-line can be viewed as a tree-network with n+1 vertices"): each
+// resource becomes a path network whose local edge i *is* timeslot i, and
+// each feasible (resource, start) placement becomes an explicit demand
+// instance.
+#pragma once
+
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+struct LineDemand {
+  DemandId id = -1;
+  int release = 0;    // first admissible slot
+  int deadline = 0;   // last admissible slot (inclusive)
+  int proc_time = 1;  // number of contiguous slots required
+  Profit profit = 0.0;
+  Height height = 1.0;
+};
+
+class LineProblem {
+ public:
+  LineProblem(int num_slots, int num_resources);
+
+  // Adds a demand; access defaults to all resources.
+  DemandId add_demand(int release, int deadline, int proc_time, Profit profit,
+                      Height height = 1.0);
+  void set_access(DemandId d, std::vector<NetworkId> resources);
+
+  int num_slots() const { return num_slots_; }
+  int num_resources() const { return num_resources_; }
+  int num_demands() const { return static_cast<int>(demands_.size()); }
+  const LineDemand& demand(DemandId d) const;
+  const std::vector<NetworkId>& access(DemandId d) const;
+
+  // Number of admissible start slots of a demand within its window.
+  int num_starts(DemandId d) const;
+
+  // Builds the equivalent tree Problem.  Every feasible placement of every
+  // demand becomes one instance whose path covers slots
+  // [start, start+rho-1] of the chosen resource.  The result is finalized.
+  Problem lower() const;
+
+ private:
+  int num_slots_;
+  int num_resources_;
+  std::vector<LineDemand> demands_;
+  std::vector<std::vector<NetworkId>> access_;
+};
+
+}  // namespace treesched

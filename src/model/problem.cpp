@@ -1,0 +1,240 @@
+#include "model/problem.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+Problem::Problem(VertexId num_vertices, std::vector<TreeNetwork> networks)
+    : n_(num_vertices), networks_(std::move(networks)) {
+  check_input(n_ >= 1, "problem needs at least one vertex");
+  check_input(!networks_.empty(), "problem needs at least one network");
+  edge_offset_.reserve(networks_.size() + 1);
+  edge_offset_.push_back(0);
+  for (const TreeNetwork& t : networks_) {
+    check_input(t.num_vertices() == n_,
+                "all networks must be defined over the shared vertex set");
+    edge_offset_.push_back(edge_offset_.back() + t.num_edges());
+  }
+  total_edges_ = edge_offset_.back();
+  capacity_.assign(static_cast<std::size_t>(total_edges_), 1.0);
+}
+
+DemandId Problem::add_demand(VertexId u, VertexId v, Profit profit,
+                             Height height) {
+  require_mutable();
+  check_input(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v,
+              "demand endpoints out of range");
+  check_input(profit > 0.0, "demand profit must be positive");
+  check_input(height > 0.0 && height <= 1.0 + kEps,
+              "demand height must lie in (0, 1]");
+  const DemandId id = static_cast<DemandId>(demands_.size());
+  demands_.push_back(Demand{id, u, v, profit, height});
+  std::vector<NetworkId> all(networks_.size());
+  for (std::size_t q = 0; q < networks_.size(); ++q)
+    all[q] = static_cast<NetworkId>(q);
+  access_.push_back(std::move(all));
+  return id;
+}
+
+void Problem::set_access(DemandId d, std::vector<NetworkId> networks) {
+  require_mutable();
+  TS_REQUIRE(d >= 0 && d < num_demands());
+  check_input(!networks.empty(), "access set must be non-empty");
+  std::sort(networks.begin(), networks.end());
+  networks.erase(std::unique(networks.begin(), networks.end()),
+                 networks.end());
+  for (NetworkId q : networks)
+    check_input(q >= 0 && q < num_networks(), "access network out of range");
+  access_[static_cast<std::size_t>(d)] = std::move(networks);
+}
+
+void Problem::set_capacity(NetworkId network, EdgeId local_edge, Capacity c) {
+  require_mutable();
+  check_input(c > 0.0, "edge capacity must be positive");
+  capacity_[static_cast<std::size_t>(global_edge(network, local_edge))] = c;
+}
+
+void Problem::set_uniform_capacity(Capacity c) {
+  require_mutable();
+  check_input(c > 0.0, "edge capacity must be positive");
+  std::fill(capacity_.begin(), capacity_.end(), c);
+}
+
+InstanceId Problem::add_instance(DemandId d, NetworkId network, VertexId u,
+                                 VertexId v) {
+  require_mutable();
+  TS_REQUIRE(d >= 0 && d < num_demands());
+  TS_REQUIRE(network >= 0 && network < num_networks());
+  manual_instances_ = true;
+  const Demand& dem = demands_[static_cast<std::size_t>(d)];
+  DemandInstance inst;
+  inst.id = static_cast<InstanceId>(instances_.size());
+  inst.demand = d;
+  inst.network = network;
+  inst.u = u;
+  inst.v = v;
+  inst.profit = dem.profit;
+  inst.height = dem.height;
+  const EdgeId offset = edge_offset_[static_cast<std::size_t>(network)];
+  for (EdgeId local :
+       networks_[static_cast<std::size_t>(network)].path_edges(u, v))
+    inst.edges.push_back(offset + local);
+  std::sort(inst.edges.begin(), inst.edges.end());
+  check_input(!inst.edges.empty(), "instance path must contain an edge");
+  instances_.push_back(std::move(inst));
+  return instances_.back().id;
+}
+
+void Problem::finalize() {
+  require_mutable();
+  check_input(num_demands() > 0, "problem needs at least one demand");
+
+  if (!manual_instances_) {
+    // Default expansion: one instance per (demand, accessible network),
+    // routed along the unique tree path (paper, Section 2 reformulation).
+    for (const Demand& dem : demands_) {
+      for (NetworkId q : access_[static_cast<std::size_t>(dem.id)]) {
+        DemandInstance inst;
+        inst.id = static_cast<InstanceId>(instances_.size());
+        inst.demand = dem.id;
+        inst.network = q;
+        inst.u = dem.u;
+        inst.v = dem.v;
+        inst.profit = dem.profit;
+        inst.height = dem.height;
+        const EdgeId offset = edge_offset_[static_cast<std::size_t>(q)];
+        for (EdgeId local :
+             networks_[static_cast<std::size_t>(q)].path_edges(dem.u, dem.v))
+          inst.edges.push_back(offset + local);
+        std::sort(inst.edges.begin(), inst.edges.end());
+        instances_.push_back(std::move(inst));
+      }
+    }
+  }
+  check_input(!instances_.empty(), "problem has no demand instances");
+
+  by_demand_.assign(static_cast<std::size_t>(num_demands()), {});
+  by_edge_.assign(static_cast<std::size_t>(total_edges_), {});
+  for (const DemandInstance& inst : instances_) {
+    by_demand_[static_cast<std::size_t>(inst.demand)].push_back(inst.id);
+    for (EdgeId e : inst.edges)
+      by_edge_[static_cast<std::size_t>(e)].push_back(inst.id);
+  }
+
+  pmax_ = pmin_ = demands_.front().profit;
+  hmin_ = hmax_ = demands_.front().height;
+  ptotal_ = 0.0;
+  for (const Demand& dem : demands_) {
+    pmax_ = std::max(pmax_, dem.profit);
+    pmin_ = std::min(pmin_, dem.profit);
+    hmin_ = std::min(hmin_, dem.height);
+    hmax_ = std::max(hmax_, dem.height);
+    ptotal_ += dem.profit;
+  }
+  unit_height_ = hmin_ >= 1.0 - kEps;
+  cmin_ = cmax_ = capacity_.front();
+  for (Capacity c : capacity_) {
+    cmin_ = std::min(cmin_, c);
+    cmax_ = std::max(cmax_, c);
+  }
+  lmax_ = lmin_ = static_cast<int>(instances_.front().edges.size());
+  for (const DemandInstance& inst : instances_) {
+    lmax_ = std::max(lmax_, static_cast<int>(inst.edges.size()));
+    lmin_ = std::min(lmin_, static_cast<int>(inst.edges.size()));
+  }
+  finalized_ = true;
+}
+
+const TreeNetwork& Problem::network(NetworkId q) const {
+  TS_REQUIRE(q >= 0 && q < num_networks());
+  return networks_[static_cast<std::size_t>(q)];
+}
+
+EdgeId Problem::global_edge(NetworkId q, EdgeId local) const {
+  TS_REQUIRE(q >= 0 && q < num_networks());
+  TS_REQUIRE(local >= 0 &&
+             local < networks_[static_cast<std::size_t>(q)].num_edges());
+  return edge_offset_[static_cast<std::size_t>(q)] + local;
+}
+
+std::pair<NetworkId, EdgeId> Problem::edge_owner(EdgeId global) const {
+  TS_REQUIRE(global >= 0 && global < total_edges_);
+  const auto it =
+      std::upper_bound(edge_offset_.begin(), edge_offset_.end(), global);
+  const auto q = static_cast<NetworkId>(it - edge_offset_.begin() - 1);
+  return {q, global - edge_offset_[static_cast<std::size_t>(q)]};
+}
+
+Capacity Problem::capacity(EdgeId global) const {
+  TS_REQUIRE(global >= 0 && global < total_edges_);
+  return capacity_[static_cast<std::size_t>(global)];
+}
+
+const Demand& Problem::demand(DemandId d) const {
+  TS_REQUIRE(d >= 0 && d < num_demands());
+  return demands_[static_cast<std::size_t>(d)];
+}
+
+const std::vector<NetworkId>& Problem::access(DemandId d) const {
+  TS_REQUIRE(d >= 0 && d < num_demands());
+  return access_[static_cast<std::size_t>(d)];
+}
+
+const DemandInstance& Problem::instance(InstanceId i) const {
+  TS_REQUIRE(i >= 0 && i < num_instances());
+  return instances_[static_cast<std::size_t>(i)];
+}
+
+const std::vector<InstanceId>& Problem::instances_of_demand(DemandId d) const {
+  require_finalized();
+  TS_REQUIRE(d >= 0 && d < num_demands());
+  return by_demand_[static_cast<std::size_t>(d)];
+}
+
+const std::vector<InstanceId>& Problem::instances_on_edge(
+    EdgeId global) const {
+  require_finalized();
+  TS_REQUIRE(global >= 0 && global < total_edges_);
+  return by_edge_[static_cast<std::size_t>(global)];
+}
+
+bool Problem::overlap(InstanceId a, InstanceId b) const {
+  const DemandInstance& x = instance(a);
+  const DemandInstance& y = instance(b);
+  if (x.network != y.network) return false;
+  // Sorted-merge intersection test.
+  auto i = x.edges.begin();
+  auto j = y.edges.begin();
+  while (i != x.edges.end() && j != y.edges.end()) {
+    if (*i == *j) return true;
+    if (*i < *j)
+      ++i;
+    else
+      ++j;
+  }
+  return false;
+}
+
+bool Problem::conflicting(InstanceId a, InstanceId b) const {
+  const DemandInstance& x = instance(a);
+  const DemandInstance& y = instance(b);
+  if (x.demand == y.demand && a != b) return true;
+  return overlap(a, b);
+}
+
+bool Problem::can_communicate(DemandId a, DemandId b) const {
+  const auto& sa = access(a);
+  const auto& sb = access(b);
+  auto i = sa.begin();
+  auto j = sb.begin();
+  while (i != sa.end() && j != sb.end()) {
+    if (*i == *j) return true;
+    if (*i < *j)
+      ++i;
+    else
+      ++j;
+  }
+  return false;
+}
+
+}  // namespace treesched

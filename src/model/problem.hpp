@@ -1,0 +1,149 @@
+// Problem: the throughput-maximization instance (paper, Section 2).
+//
+// A Problem bundles the shared vertex set, the r tree-networks, per-edge
+// capacities (1.0 everywhere in the paper's uniform setting; arbitrary for
+// the non-uniform 2013 extension), the demands with their profits/heights,
+// per-processor access sets, and the expanded set of *demand instances*.
+//
+// Demand instances are the unit the algorithms operate on: one copy of a
+// demand per accessible network (tree case), or one copy per (resource,
+// start-slot) placement (line-with-windows case; see LineProblem::lower()).
+// Every instance caches the global edge ids of its routing path, so the
+// primal-dual engine, the conflict cliques and the feasibility checker all
+// work off the same representation regardless of where the instance came
+// from.
+//
+// Global edge ids concatenate the local edge ranges of the networks:
+// global = offset(network) + local.  The dual variable vector beta is
+// indexed by global edge id.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "graph/tree_network.hpp"
+
+namespace treesched {
+
+// A demand (u, v) with profit and bandwidth requirement (paper: height).
+// Processor i owns demand i; the paper's processor set is implicit.
+struct Demand {
+  DemandId id = -1;
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+  Profit profit = 0.0;
+  Height height = 1.0;
+};
+
+// One schedulable copy of a demand on a concrete network, with its routing
+// path cached as sorted global edge ids.
+struct DemandInstance {
+  InstanceId id = kNoInstance;
+  DemandId demand = -1;
+  NetworkId network = -1;
+  VertexId u = kNoVertex;  // path endpoints within the network
+  VertexId v = kNoVertex;
+  Profit profit = 0.0;
+  Height height = 1.0;
+  std::vector<EdgeId> edges;  // global edge ids, sorted ascending
+};
+
+class Problem {
+ public:
+  // --- construction ------------------------------------------------------
+  Problem(VertexId num_vertices, std::vector<TreeNetwork> networks);
+
+  // Adds a demand; returns its id.  Access defaults to all networks until
+  // set_access() is called.  Must precede finalize().
+  DemandId add_demand(VertexId u, VertexId v, Profit profit,
+                      Height height = 1.0);
+
+  // Restricts the owning processor's access set (paper: Acc(P)).
+  void set_access(DemandId d, std::vector<NetworkId> networks);
+
+  // Non-uniform bandwidths: capacity of one edge / all edges.
+  void set_capacity(NetworkId network, EdgeId local_edge, Capacity c);
+  void set_uniform_capacity(Capacity c);
+
+  // Adds an explicit instance (used by LineProblem::lower(); the tree case
+  // relies on the automatic demand x access expansion in finalize()).
+  // Endpoints are vertices of `network`; the path is computed here.
+  InstanceId add_instance(DemandId d, NetworkId network, VertexId u,
+                          VertexId v);
+
+  // Freezes the problem: expands instances (if none were added manually),
+  // builds the per-demand / per-edge indexes and the summary statistics.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- topology ----------------------------------------------------------
+  VertexId num_vertices() const { return n_; }
+  int num_networks() const { return static_cast<int>(networks_.size()); }
+  const TreeNetwork& network(NetworkId q) const;
+  EdgeId num_global_edges() const { return total_edges_; }
+  EdgeId global_edge(NetworkId q, EdgeId local) const;
+  std::pair<NetworkId, EdgeId> edge_owner(EdgeId global) const;
+  Capacity capacity(EdgeId global) const;
+  Capacity min_capacity() const { return cmin_; }
+  Capacity max_capacity() const { return cmax_; }
+
+  // --- demands & instances ------------------------------------------------
+  int num_demands() const { return static_cast<int>(demands_.size()); }
+  const Demand& demand(DemandId d) const;
+  const std::vector<NetworkId>& access(DemandId d) const;
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  const DemandInstance& instance(InstanceId i) const;
+  std::span<const DemandInstance> instances() const {
+    return {instances_.data(), instances_.size()};
+  }
+  const std::vector<InstanceId>& instances_of_demand(DemandId d) const;
+  const std::vector<InstanceId>& instances_on_edge(EdgeId global) const;
+
+  // --- predicates (paper, Section 2 notation) ------------------------------
+  // d1 and d2 overlap: same network and paths share at least one edge.
+  bool overlap(InstanceId a, InstanceId b) const;
+  // d1 and d2 conflict: same demand, or overlapping.
+  bool conflicting(InstanceId a, InstanceId b) const;
+  // Two processors may communicate iff their access sets intersect.
+  bool can_communicate(DemandId a, DemandId b) const;
+
+  // --- summary statistics --------------------------------------------------
+  Profit max_profit() const { return pmax_; }
+  Profit min_profit() const { return pmin_; }
+  Height min_height() const { return hmin_; }
+  Height max_height() const { return hmax_; }
+  bool unit_height() const { return unit_height_; }
+  bool uniform_capacity() const { return cmin_ == cmax_; }
+  int max_path_length() const { return lmax_; }
+  int min_path_length() const { return lmin_; }
+  Profit total_profit() const { return ptotal_; }
+
+ private:
+  void require_finalized() const { TS_REQUIRE(finalized_); }
+  void require_mutable() const { TS_REQUIRE(!finalized_); }
+
+  VertexId n_;
+  std::vector<TreeNetwork> networks_;
+  std::vector<EdgeId> edge_offset_;  // per network; last element = total
+  EdgeId total_edges_ = 0;
+  std::vector<Capacity> capacity_;  // per global edge
+
+  std::vector<Demand> demands_;
+  std::vector<std::vector<NetworkId>> access_;  // sorted
+  std::vector<DemandInstance> instances_;
+  bool manual_instances_ = false;
+  bool finalized_ = false;
+
+  std::vector<std::vector<InstanceId>> by_demand_;
+  std::vector<std::vector<InstanceId>> by_edge_;
+
+  Profit pmax_ = 0.0, pmin_ = 0.0, ptotal_ = 0.0;
+  Height hmin_ = 1.0, hmax_ = 1.0;
+  Capacity cmin_ = 1.0, cmax_ = 1.0;
+  bool unit_height_ = true;
+  int lmax_ = 0, lmin_ = 0;
+};
+
+}  // namespace treesched

@@ -1,0 +1,63 @@
+// Solution: a selected set of demand instances, plus the feasibility
+// checker used by every test and benchmark.  Feasibility (paper, Section 2
+// and 6): at most one instance per demand, and on every edge the summed
+// height of selected instances using that edge must not exceed the edge
+// capacity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+struct Solution {
+  std::vector<InstanceId> selected;
+
+  Profit profit(const Problem& problem) const;
+  bool contains(InstanceId i) const;
+  std::size_t size() const { return selected.size(); }
+};
+
+// Result of a feasibility audit.  `violation` is a human-readable
+// description of the first problem found (empty when feasible).
+struct FeasibilityReport {
+  bool feasible = true;
+  std::string violation;
+};
+
+FeasibilityReport check_feasibility(const Problem& problem,
+                                    const Solution& solution);
+
+// Incremental feasibility tracker used by phase 2 of the framework and by
+// the exact solvers: maintains per-edge load and per-demand usage.
+class LoadTracker {
+ public:
+  explicit LoadTracker(const Problem& problem);
+
+  // True iff adding `i` keeps the solution feasible.
+  bool fits(InstanceId i) const;
+
+  // Adds `i`; requires fits(i).
+  void add(InstanceId i);
+
+  // Removes a previously added instance.
+  void remove(InstanceId i);
+
+  double load(EdgeId global) const {
+    return load_[static_cast<std::size_t>(global)];
+  }
+  bool demand_used(DemandId d) const {
+    return demand_used_[static_cast<std::size_t>(d)];
+  }
+  void clear();
+
+ private:
+  const Problem* problem_;
+  std::vector<double> load_;
+  std::vector<char> demand_used_;
+};
+
+}  // namespace treesched

@@ -1,0 +1,64 @@
+#include "seq/sequential.hpp"
+
+namespace treesched {
+
+namespace {
+
+SolverConfig sequential_config(const Problem& problem, RaiseRuleKind rule) {
+  SolverConfig config;
+  config.rule = rule;
+  config.stage_mode = StageMode::kExact;  // lambda = 1
+  // Single-network refinement (Appendix A): with one tree every demand
+  // has at most one instance, so the per-demand dual alpha is never
+  // needed and the price factor drops by one.
+  bool single_instance_demands = true;
+  for (DemandId d = 0; d < problem.num_demands(); ++d) {
+    if (problem.instances_of_demand(d).size() > 1) {
+      single_instance_demands = false;
+      break;
+    }
+  }
+  config.raise_alpha = !single_instance_demands;
+  return config;
+}
+
+}  // namespace
+
+SeqResult solve_tree_unit_sequential(const Problem& problem) {
+  TS_REQUIRE(problem.unit_height());
+  const LayeredPlan plan = build_tree_layered_plan(
+      problem, DecompKind::kRootFixing, /*mu_wings_only=*/true);
+  TS_REQUIRE(plan.delta <= 2);  // wings of the capture node
+  const SolverConfig config = sequential_config(problem, RaiseRuleKind::kUnit);
+  const SolveResult run = solve_with_plan(problem, plan, config);
+
+  SeqResult result;
+  result.solution = run.solution;
+  result.stats = run.stats;
+  result.profit = run.stats.profit;
+  const RaiseRule rule(RaiseRuleKind::kUnit, problem, config.raise_alpha);
+  result.ratio_bound = rule.ratio_bound(plan.delta, /*lambda=*/1.0);
+  return result;
+}
+
+SeqResult solve_tree_arbitrary_sequential(const Problem& problem) {
+  const LayeredPlan plan = build_tree_layered_plan(
+      problem, DecompKind::kRootFixing, /*mu_wings_only=*/true);
+  TS_REQUIRE(plan.delta <= 2);
+  const SolverConfig config =
+      sequential_config(problem, RaiseRuleKind::kNarrow);
+  const SolveResult run = solve_height_split(problem, plan, config);
+
+  SeqResult result;
+  result.solution = run.solution;
+  result.stats = run.stats;
+  result.profit = run.stats.profit;
+  const RaiseRule unit_rule(RaiseRuleKind::kUnit, problem, config.raise_alpha);
+  const RaiseRule narrow_rule(RaiseRuleKind::kNarrow, problem,
+                              config.raise_alpha);
+  result.ratio_bound = unit_rule.ratio_bound(plan.delta, 1.0) +
+                       narrow_rule.ratio_bound(plan.delta, 1.0);
+  return result;
+}
+
+}  // namespace treesched

@@ -1,0 +1,163 @@
+#include "workload/demand_gen.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+const char* to_string(EndpointLaw law) {
+  switch (law) {
+    case EndpointLaw::kUniformPair:
+      return "uniform-pair";
+    case EndpointLaw::kLocalPair:
+      return "local-pair";
+    case EndpointLaw::kLeafToLeaf:
+      return "leaf-to-leaf";
+  }
+  return "?";
+}
+
+const char* to_string(ProfitLaw law) {
+  switch (law) {
+    case ProfitLaw::kUniform:
+      return "uniform";
+    case ProfitLaw::kZipf:
+      return "zipf";
+    case ProfitLaw::kProportionalLength:
+      return "prop-length";
+  }
+  return "?";
+}
+
+const char* to_string(HeightLaw law) {
+  switch (law) {
+    case HeightLaw::kUnit:
+      return "unit";
+    case HeightLaw::kUniformRange:
+      return "uniform";
+    case HeightLaw::kBimodal:
+      return "bimodal";
+    case HeightLaw::kNarrowOnly:
+      return "narrow";
+  }
+  return "?";
+}
+
+namespace {
+
+VertexId random_vertex(const Problem& problem, Rng& rng) {
+  return static_cast<VertexId>(rng.next_below(
+      static_cast<std::uint64_t>(problem.num_vertices())));
+}
+
+// A vertex within `locality` hops of `from` in network 0 (BFS sample).
+VertexId nearby_vertex(const Problem& problem, VertexId from, int locality,
+                       Rng& rng) {
+  const TreeNetwork& network = problem.network(0);
+  std::vector<VertexId> frontier{from}, pool;
+  std::vector<char> seen(static_cast<std::size_t>(problem.num_vertices()), 0);
+  seen[static_cast<std::size_t>(from)] = 1;
+  for (int hop = 0; hop < locality && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (const auto& adj : network.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(adj.to)]) {
+          seen[static_cast<std::size_t>(adj.to)] = 1;
+          next.push_back(adj.to);
+          pool.push_back(adj.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  if (pool.empty()) return kNoVertex;
+  return rng.pick(pool);
+}
+
+std::vector<VertexId> leaves_of(const TreeNetwork& network) {
+  std::vector<VertexId> leaves;
+  for (VertexId v = 0; v < network.num_vertices(); ++v)
+    if (network.degree(v) == 1) leaves.push_back(v);
+  return leaves;
+}
+
+Height draw_height(const DemandGenConfig& cfg, Rng& rng) {
+  switch (cfg.heights) {
+    case HeightLaw::kUnit:
+      return 1.0;
+    case HeightLaw::kUniformRange:
+      return rng.uniform(cfg.height_min, 1.0);
+    case HeightLaw::kBimodal:
+      return rng.chance(0.5) ? rng.uniform(cfg.height_min, 0.5)
+                             : rng.uniform(0.5 + 1e-6, 1.0);
+    case HeightLaw::kNarrowOnly:
+      return rng.uniform(cfg.height_min, 0.5);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+void add_random_demands(Problem& problem, const DemandGenConfig& cfg,
+                        Rng& rng) {
+  TS_REQUIRE(!problem.finalized());
+  TS_REQUIRE(cfg.num_demands >= 1);
+  const std::vector<VertexId> leaves = leaves_of(problem.network(0));
+
+  for (int k = 0; k < cfg.num_demands; ++k) {
+    VertexId u = kNoVertex, v = kNoVertex;
+    switch (cfg.endpoints) {
+      case EndpointLaw::kUniformPair:
+        u = random_vertex(problem, rng);
+        do {
+          v = random_vertex(problem, rng);
+        } while (v == u);
+        break;
+      case EndpointLaw::kLocalPair:
+        u = random_vertex(problem, rng);
+        v = nearby_vertex(problem, u, cfg.locality, rng);
+        if (v == kNoVertex) {
+          do {
+            v = random_vertex(problem, rng);
+          } while (v == u);
+        }
+        break;
+      case EndpointLaw::kLeafToLeaf:
+        TS_REQUIRE(leaves.size() >= 2);
+        u = rng.pick(leaves);
+        do {
+          v = rng.pick(leaves);
+        } while (v == u);
+        break;
+    }
+
+    Profit profit = 1.0;
+    switch (cfg.profits) {
+      case ProfitLaw::kUniform:
+        profit = rng.uniform(1.0, cfg.profit_max);
+        break;
+      case ProfitLaw::kZipf:
+        profit = static_cast<Profit>(
+            rng.zipf(static_cast<std::int64_t>(cfg.profit_max), 1.1));
+        break;
+      case ProfitLaw::kProportionalLength:
+        profit = static_cast<Profit>(problem.network(0).dist(u, v)) *
+                 rng.uniform(1.0, 4.0);
+        break;
+    }
+
+    const DemandId d =
+        problem.add_demand(u, v, profit, draw_height(cfg, rng));
+
+    if (cfg.access_size > 0 && cfg.access_size < problem.num_networks()) {
+      std::vector<NetworkId> all(
+          static_cast<std::size_t>(problem.num_networks()));
+      for (int q = 0; q < problem.num_networks(); ++q)
+        all[static_cast<std::size_t>(q)] = q;
+      rng.shuffle(all);
+      all.resize(static_cast<std::size_t>(cfg.access_size));
+      problem.set_access(d, std::move(all));
+    }
+  }
+}
+
+}  // namespace treesched

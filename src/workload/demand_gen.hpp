@@ -1,0 +1,50 @@
+// Random demand generation for tree problems: endpoint placement, profit
+// and height laws, and access-set sampling.  All draws come from the
+// caller's Rng, so benchmark rows are reproducible by seed.
+#pragma once
+
+#include "common/rng.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+enum class EndpointLaw {
+  kUniformPair,  // two distinct uniform vertices
+  kLocalPair,    // second endpoint within hop distance <= locality of first
+  kLeafToLeaf,   // two distinct leaves of network 0
+};
+
+enum class ProfitLaw {
+  kUniform,             // uniform in [1, profit_max]
+  kZipf,                // Zipf(1.1)-distributed in [1, profit_max]
+  kProportionalLength,  // path length in network 0 times uniform [1, 4]
+};
+
+enum class HeightLaw {
+  kUnit,          // h = 1 (the unit-height case)
+  kUniformRange,  // uniform in [height_min, 1]
+  kBimodal,       // half narrow (<= 1/2), half wide (> 1/2)
+  kNarrowOnly,    // uniform in [height_min, 1/2]
+};
+
+const char* to_string(EndpointLaw law);
+const char* to_string(ProfitLaw law);
+const char* to_string(HeightLaw law);
+
+struct DemandGenConfig {
+  int num_demands = 50;
+  EndpointLaw endpoints = EndpointLaw::kUniformPair;
+  ProfitLaw profits = ProfitLaw::kUniform;
+  double profit_max = 100.0;
+  HeightLaw heights = HeightLaw::kUnit;
+  double height_min = 0.1;
+  int locality = 4;     // for kLocalPair
+  int access_size = 0;  // 0 = all networks, else random subset of this size
+};
+
+// Adds cfg.num_demands random demands (with access sets) to `problem`.
+// Must be called before finalize().
+void add_random_demands(Problem& problem, const DemandGenConfig& cfg,
+                        Rng& rng);
+
+}  // namespace treesched

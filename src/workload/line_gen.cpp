@@ -1,0 +1,71 @@
+#include "workload/line_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treesched {
+
+LineProblem make_random_line_problem(const LineGenConfig& cfg, Rng& rng) {
+  TS_REQUIRE(cfg.num_slots >= 2);
+  TS_REQUIRE(cfg.max_proc_time >= cfg.min_proc_time);
+  TS_REQUIRE(cfg.max_proc_time <= cfg.num_slots);
+  TS_REQUIRE(cfg.window_slack >= 1.0);
+  LineProblem line(cfg.num_slots, cfg.num_resources);
+
+  for (int k = 0; k < cfg.num_demands; ++k) {
+    const int rho = static_cast<int>(
+        rng.uniform_int(cfg.min_proc_time, cfg.max_proc_time));
+    const int window = std::min(
+        cfg.num_slots,
+        std::max(rho, static_cast<int>(std::lround(rho * cfg.window_slack))));
+    const int release = static_cast<int>(
+        rng.uniform_int(0, cfg.num_slots - window));
+    const int deadline = release + window - 1;
+
+    Profit profit = 1.0;
+    switch (cfg.profits) {
+      case ProfitLaw::kUniform:
+        profit = rng.uniform(1.0, cfg.profit_max);
+        break;
+      case ProfitLaw::kZipf:
+        profit = static_cast<Profit>(
+            rng.zipf(static_cast<std::int64_t>(cfg.profit_max), 1.1));
+        break;
+      case ProfitLaw::kProportionalLength:
+        profit = static_cast<Profit>(rho) * rng.uniform(1.0, 4.0);
+        break;
+    }
+
+    Height height = 1.0;
+    switch (cfg.heights) {
+      case HeightLaw::kUnit:
+        height = 1.0;
+        break;
+      case HeightLaw::kUniformRange:
+        height = rng.uniform(cfg.height_min, 1.0);
+        break;
+      case HeightLaw::kBimodal:
+        height = rng.chance(0.5) ? rng.uniform(cfg.height_min, 0.5)
+                                 : rng.uniform(0.5 + 1e-6, 1.0);
+        break;
+      case HeightLaw::kNarrowOnly:
+        height = rng.uniform(cfg.height_min, 0.5);
+        break;
+    }
+
+    const DemandId d = line.add_demand(release, deadline, rho, profit, height);
+
+    if (cfg.access_size > 0 && cfg.access_size < cfg.num_resources) {
+      std::vector<NetworkId> all(
+          static_cast<std::size_t>(cfg.num_resources));
+      for (int q = 0; q < cfg.num_resources; ++q)
+        all[static_cast<std::size_t>(q)] = q;
+      rng.shuffle(all);
+      all.resize(static_cast<std::size_t>(cfg.access_size));
+      line.set_access(d, std::move(all));
+    }
+  }
+  return line;
+}
+
+}  // namespace treesched

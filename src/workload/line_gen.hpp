@@ -1,0 +1,30 @@
+// Random line-with-windows workloads (paper, Sections 1 and 7): jobs with
+// release times, deadlines, processing times, profits and heights over r
+// identical timeline resources.
+#pragma once
+
+#include "common/rng.hpp"
+#include "model/line_problem.hpp"
+#include "workload/demand_gen.hpp"
+
+namespace treesched {
+
+struct LineGenConfig {
+  int num_slots = 64;
+  int num_resources = 2;
+  int num_demands = 40;
+  int min_proc_time = 1;
+  int max_proc_time = 12;
+  // Window length = proc_time * window_slack (rounded), clamped to the
+  // timeline; slack 1.0 means fixed placements (no windows).
+  double window_slack = 2.0;
+  ProfitLaw profits = ProfitLaw::kUniform;
+  double profit_max = 100.0;
+  HeightLaw heights = HeightLaw::kUnit;
+  double height_min = 0.1;
+  int access_size = 0;  // 0 = all resources
+};
+
+LineProblem make_random_line_problem(const LineGenConfig& cfg, Rng& rng);
+
+}  // namespace treesched

@@ -1,0 +1,45 @@
+#include "workload/scenario.hpp"
+
+#include <sstream>
+
+namespace treesched {
+
+Problem make_tree_problem(const TreeScenarioSpec& spec) {
+  Rng rng(spec.seed);
+  Problem problem(spec.num_vertices,
+                  make_networks(spec.shape, spec.num_vertices,
+                                spec.num_networks, rng,
+                                spec.identical_networks));
+  apply_capacity_law(problem, spec.capacities, spec.capacity_base,
+                     spec.capacity_spread, rng);
+  add_random_demands(problem, spec.demands, rng);
+  problem.finalize();
+  return problem;
+}
+
+Problem make_line_problem(const LineScenarioSpec& spec) {
+  Rng rng(spec.seed);
+  return make_random_line_problem(spec.line, rng).lower();
+}
+
+std::string describe(const TreeScenarioSpec& spec) {
+  std::ostringstream os;
+  os << to_string(spec.shape) << " n=" << spec.num_vertices << " r="
+     << spec.num_networks << " m=" << spec.demands.num_demands << " h="
+     << to_string(spec.demands.heights) << " p="
+     << to_string(spec.demands.profits);
+  if (spec.capacity_spread > 1.0)
+    os << " cap=" << to_string(spec.capacities) << "x" << spec.capacity_spread;
+  return os.str();
+}
+
+std::string describe(const LineScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "line slots=" << spec.line.num_slots << " r="
+     << spec.line.num_resources << " m=" << spec.line.num_demands
+     << " slack=" << spec.line.window_slack << " h="
+     << to_string(spec.line.heights);
+  return os.str();
+}
+
+}  // namespace treesched

@@ -1,0 +1,42 @@
+// Named end-to-end scenario builders shared by tests, benches and
+// examples: one call produces a finalized Problem from a compact spec.
+#pragma once
+
+#include <string>
+
+#include "capacity/capacity_profile.hpp"
+#include "model/problem.hpp"
+#include "workload/demand_gen.hpp"
+#include "workload/line_gen.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace treesched {
+
+struct TreeScenarioSpec {
+  TreeShape shape = TreeShape::kRandomAttachment;
+  VertexId num_vertices = 64;
+  int num_networks = 2;
+  bool identical_networks = false;
+  DemandGenConfig demands;
+  CapacityLaw capacities = CapacityLaw::kUniform;
+  Capacity capacity_base = 1.0;
+  double capacity_spread = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// Finalized tree problem.
+Problem make_tree_problem(const TreeScenarioSpec& spec);
+
+struct LineScenarioSpec {
+  LineGenConfig line;
+  std::uint64_t seed = 1;
+};
+
+// Finalized, lowered line problem (instances = all window placements).
+Problem make_line_problem(const LineScenarioSpec& spec);
+
+// Human-readable one-line description for benchmark tables.
+std::string describe(const TreeScenarioSpec& spec);
+std::string describe(const LineScenarioSpec& spec);
+
+}  // namespace treesched

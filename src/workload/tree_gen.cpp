@@ -1,0 +1,75 @@
+#include "workload/tree_gen.hpp"
+
+namespace treesched {
+
+const char* to_string(TreeShape shape) {
+  switch (shape) {
+    case TreeShape::kRandomAttachment:
+      return "random";
+    case TreeShape::kBinary:
+      return "binary";
+    case TreeShape::kPath:
+      return "path";
+    case TreeShape::kStar:
+      return "star";
+    case TreeShape::kCaterpillar:
+      return "caterpillar";
+    case TreeShape::kBroom:
+      return "broom";
+  }
+  return "?";
+}
+
+TreeNetwork make_tree(TreeShape shape, VertexId n, Rng& rng) {
+  TS_REQUIRE(n >= 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(n - 1));
+  switch (shape) {
+    case TreeShape::kRandomAttachment:
+      for (VertexId i = 1; i < n; ++i)
+        edges.emplace_back(
+            static_cast<VertexId>(rng.next_below(
+                static_cast<std::uint64_t>(i))),
+            i);
+      break;
+    case TreeShape::kBinary:
+      for (VertexId i = 1; i < n; ++i) edges.emplace_back((i - 1) / 2, i);
+      break;
+    case TreeShape::kPath:
+      for (VertexId i = 1; i < n; ++i) edges.emplace_back(i - 1, i);
+      break;
+    case TreeShape::kStar:
+      for (VertexId i = 1; i < n; ++i) edges.emplace_back(0, i);
+      break;
+    case TreeShape::kCaterpillar: {
+      const VertexId spine = std::max<VertexId>(2, n / 2);
+      for (VertexId i = 1; i < spine; ++i) edges.emplace_back(i - 1, i);
+      for (VertexId i = spine; i < n; ++i)
+        edges.emplace_back((i - spine) % spine, i);
+      break;
+    }
+    case TreeShape::kBroom: {
+      const VertexId handle = std::max<VertexId>(2, n / 2);
+      for (VertexId i = 1; i < handle; ++i) edges.emplace_back(i - 1, i);
+      for (VertexId i = handle; i < n; ++i) edges.emplace_back(handle - 1, i);
+      break;
+    }
+  }
+  return TreeNetwork(n, std::move(edges));
+}
+
+std::vector<TreeNetwork> make_networks(TreeShape shape, VertexId n, int r,
+                                       Rng& rng, bool identical) {
+  TS_REQUIRE(r >= 1);
+  std::vector<TreeNetwork> networks;
+  networks.reserve(static_cast<std::size_t>(r));
+  if (identical) {
+    const TreeNetwork one = make_tree(shape, n, rng);
+    for (int q = 0; q < r; ++q) networks.push_back(one);
+  } else {
+    for (int q = 0; q < r; ++q) networks.push_back(make_tree(shape, n, rng));
+  }
+  return networks;
+}
+
+}  // namespace treesched

@@ -1,0 +1,41 @@
+// Seeded tree-topology generators for the benchmark workloads.  The
+// shapes stress different aspects of the decompositions: paths maximize
+// root-fixing depth, stars maximize degree, caterpillars/brooms mix both,
+// random-attachment trees model scale-free-ish communication networks,
+// and complete binary trees are the balanced reference.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/tree_network.hpp"
+
+namespace treesched {
+
+enum class TreeShape {
+  kRandomAttachment,  // vertex i attaches to a uniform random j < i
+  kBinary,            // complete binary tree
+  kPath,              // 0-1-2-...-(n-1)
+  kStar,              // all vertices attached to vertex 0
+  kCaterpillar,       // spine of n/2 vertices, legs attached round-robin
+  kBroom,             // path of n/2 vertices, star at the far end
+};
+
+const char* to_string(TreeShape shape);
+
+TreeNetwork make_tree(TreeShape shape, VertexId n, Rng& rng);
+
+// r networks over the same vertex set.  identical = true replicates one
+// topology (the multi-resource line/tree setting); false draws fresh
+// topologies per network (heterogeneous fabrics).
+std::vector<TreeNetwork> make_networks(TreeShape shape, VertexId n, int r,
+                                       Rng& rng, bool identical = false);
+
+// All shapes, for property-test sweeps.
+inline constexpr TreeShape kAllTreeShapes[] = {
+    TreeShape::kRandomAttachment, TreeShape::kBinary,   TreeShape::kPath,
+    TreeShape::kStar,             TreeShape::kCaterpillar,
+    TreeShape::kBroom,
+};
+
+}  // namespace treesched

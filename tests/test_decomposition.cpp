@@ -1,0 +1,160 @@
+#include "decomp/tree_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace treesched {
+namespace {
+
+int ceil_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+TEST(RootFixing, MatchesBfsTreeAndValidates) {
+  Rng rng(1);
+  const TreeNetwork t = make_tree(TreeShape::kRandomAttachment, 40, rng);
+  const TreeDecomposition h = build_root_fixing(t, 0);
+  EXPECT_EQ(h.root(), 0);
+  const auto validation = h.validate();
+  EXPECT_TRUE(validation.ok) << validation.why;
+  // Root-fixing H *is* T rooted: every T-edge joins parent and child.
+  for (EdgeId e = 0; e < t.num_edges(); ++e) {
+    const VertexId u = t.edge_u(e), v = t.edge_v(e);
+    EXPECT_TRUE(h.parent(u) == v || h.parent(v) == u);
+  }
+  // Pivot size exactly 1 (paper, Section 4.2): chi(z) = {parent(z)}.
+  EXPECT_EQ(h.pivot_size(), 1);
+  for (VertexId z = 0; z < 40; ++z) {
+    if (z == h.root()) {
+      EXPECT_TRUE(h.pivots(z).empty());
+    } else {
+      ASSERT_EQ(h.pivots(z).size(), 1u);
+      EXPECT_EQ(h.pivots(z)[0], h.parent(z));
+    }
+  }
+}
+
+TEST(RootFixing, PathDepthIsN) {
+  Rng rng(2);
+  const TreeNetwork t = make_tree(TreeShape::kPath, 32, rng);
+  const TreeDecomposition h = build_root_fixing(t, 0);
+  EXPECT_EQ(h.max_depth(), 32);  // the degenerate case the paper warns about
+}
+
+TEST(Balancing, DepthLogarithmicPivotBounded) {
+  for (const TreeShape shape : kAllTreeShapes) {
+    Rng rng(3);
+    const int n = 128;
+    const TreeNetwork t = make_tree(shape, n, rng);
+    const TreeDecomposition h = build_balancing(t);
+    const auto validation = h.validate();
+    ASSERT_TRUE(validation.ok) << to_string(shape) << ": " << validation.why;
+    EXPECT_LE(h.max_depth(), ceil_log2(n) + 1) << to_string(shape);
+    // Pivots are H-ancestors, so theta <= depth (paper, Section 4.2).
+    EXPECT_LE(h.pivot_size(), h.max_depth()) << to_string(shape);
+  }
+}
+
+TEST(Balancing, StarHasDepthTwo) {
+  Rng rng(4);
+  const TreeNetwork t = make_tree(TreeShape::kStar, 50, rng);
+  const TreeDecomposition h = build_balancing(t);
+  EXPECT_EQ(h.root(), 0);  // the hub is the only balancer
+  EXPECT_EQ(h.max_depth(), 2);
+}
+
+TEST(Capture, IsMinDepthVertexOnPath) {
+  Rng rng(5);
+  const TreeNetwork t = make_tree(TreeShape::kRandomAttachment, 64, rng);
+  const TreeDecomposition h = build_balancing(t);
+  for (int it = 0; it < 100; ++it) {
+    const auto u = static_cast<VertexId>(rng.next_below(64));
+    const auto v = static_cast<VertexId>(rng.next_below(64));
+    const VertexId mu = h.capture(u, v);
+    int best = h.depth(mu);
+    for (VertexId x : t.path_vertices(u, v)) {
+      EXPECT_GE(h.depth(x), best);
+      EXPECT_TRUE(x != mu || h.depth(x) == best);
+    }
+    // The capture node is the H-LCA of the endpoints (Section 4.4).
+    EXPECT_EQ(mu, h.lca(u, v));
+  }
+}
+
+TEST(Pivots, AreNeighborsOfComponents) {
+  Rng rng(6);
+  const TreeNetwork t = make_tree(TreeShape::kCaterpillar, 48, rng);
+  const TreeDecomposition h = build_balancing(t);
+  // Brute-force Gamma[C(z)] and compare with pivots(z).
+  for (VertexId z = 0; z < 48; ++z) {
+    std::vector<char> in_comp(48, 0);
+    std::vector<VertexId> comp{z};
+    in_comp[static_cast<std::size_t>(z)] = 1;
+    for (std::size_t head = 0; head < comp.size(); ++head) {
+      for (VertexId c : h.children(comp[head])) {
+        in_comp[static_cast<std::size_t>(c)] = 1;
+        comp.push_back(c);
+      }
+    }
+    std::vector<VertexId> expected;
+    for (VertexId x = 0; x < 48; ++x) {
+      if (in_comp[static_cast<std::size_t>(x)]) continue;
+      for (const auto& adj : t.neighbors(x)) {
+        if (in_comp[static_cast<std::size_t>(adj.to)]) {
+          expected.push_back(x);
+          break;
+        }
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(h.pivots(z), expected) << "z=" << z;
+  }
+}
+
+TEST(FindBalancer, PiecesAtMostHalf) {
+  for (const TreeShape shape : kAllTreeShapes) {
+    Rng rng(7);
+    const int n = 63;
+    const TreeNetwork t = make_tree(shape, n, rng);
+    std::vector<VertexId> all(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+    std::vector<int> mark(static_cast<std::size_t>(n), 1);
+    const VertexId z = find_balancer(t, all, mark, 1);
+    // Verify by splitting: every piece has size <= floor(n/2).
+    auto pieces = detail::split_component(t, z, mark, 1);
+    for (const auto& piece : pieces)
+      EXPECT_LE(piece.size(), static_cast<std::size_t>(n / 2))
+          << to_string(shape);
+  }
+}
+
+TEST(Validate, DetectsBrokenDecomposition) {
+  // H = path 0-1-2-3 rooted at 0 over T = star at 0: T-edge (0,3) joins
+  // comparable vertices, but C(2) = {2,3} is not T-connected.
+  const TreeNetwork star(4, {{0, 1}, {0, 2}, {0, 3}});
+  std::vector<VertexId> parent{kNoVertex, 0, 1, 2};
+  const TreeDecomposition bad(star, 0, std::move(parent));
+  const auto validation = bad.validate();
+  EXPECT_FALSE(validation.ok);
+  EXPECT_NE(validation.why.find("not T-connected"), std::string::npos);
+}
+
+TEST(Decomposition, SingleAndTwoVertexTrees) {
+  const TreeNetwork two(2, {{0, 1}});
+  for (DecompKind kind :
+       {DecompKind::kRootFixing, DecompKind::kBalancing, DecompKind::kIdeal}) {
+    const TreeDecomposition h = build_decomposition(two, kind);
+    EXPECT_TRUE(h.validate().ok) << to_string(kind);
+    EXPECT_EQ(h.max_depth(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace treesched

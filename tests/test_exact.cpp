@@ -1,0 +1,113 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/line_dp.hpp"
+#include "test_util.hpp"
+#include "workload/scenario.hpp"
+
+namespace treesched {
+namespace {
+
+using testutil::require_feasible;
+using testutil::small_line_problem;
+using testutil::small_tree_problem;
+
+// Exhaustive reference: enumerate all subsets (instances <= 20).
+Profit brute_force_opt(const Problem& p) {
+  const int m = p.num_instances();
+  TS_REQUIRE(m <= 20);
+  Profit best = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    Solution s;
+    for (int i = 0; i < m; ++i)
+      if (mask & (1u << i)) s.selected.push_back(i);
+    if (!check_feasibility(p, s).feasible) continue;
+    best = std::max(best, s.profit(p));
+  }
+  return best;
+}
+
+TEST(BranchAndBound, MatchesBruteForceOnTrees) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Problem p = small_tree_problem(seed, 16, 2, 7,
+                                         HeightLaw::kUniformRange);
+    ASSERT_LE(p.num_instances(), 20);
+    const ExactResult exact = solve_exact(p);
+    ASSERT_TRUE(exact.completed);
+    EXPECT_NEAR(exact.profit, brute_force_opt(p), 1e-9) << "seed " << seed;
+    EXPECT_NEAR(require_feasible(p, exact.solution), exact.profit, 1e-9);
+  }
+}
+
+TEST(BranchAndBound, MatchesBruteForceOnLines) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Problem p = small_line_problem(seed, 16, 1, 6, HeightLaw::kUnit,
+                                         1.6);
+    if (p.num_instances() > 20) continue;
+    const ExactResult exact = solve_exact(p);
+    ASSERT_TRUE(exact.completed);
+    EXPECT_NEAR(exact.profit, brute_force_opt(p), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BranchAndBound, RespectsCapacities) {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(4));
+  Problem p(4, std::move(networks));
+  p.set_uniform_capacity(2.0);
+  p.add_demand(0, 3, 5.0);
+  p.add_demand(0, 3, 4.0);
+  p.add_demand(0, 3, 3.0);
+  p.finalize();
+  const ExactResult exact = solve_exact(p);
+  EXPECT_NEAR(exact.profit, 9.0, 1e-9);  // two of three fit
+}
+
+TEST(BranchAndBound, NodeLimitReportsIncomplete) {
+  const Problem p = small_tree_problem(7, 24, 3, 14);
+  const ExactResult exact = solve_exact(p, /*node_limit=*/3);
+  EXPECT_FALSE(exact.completed);
+  // Still returns a feasible (possibly empty) solution.
+  require_feasible(p, exact.solution);
+}
+
+TEST(LineDp, ApplicabilityChecks) {
+  // Multiple resources: not applicable.
+  EXPECT_FALSE(line_dp_applicable(small_line_problem(1, 16, 2, 5)));
+  // Windows create multiple instances per demand: not applicable.
+  EXPECT_FALSE(
+      line_dp_applicable(small_line_problem(2, 16, 1, 5, HeightLaw::kUnit,
+                                            2.0)));
+  // Single resource, fixed placements, unit heights: applicable.
+  EXPECT_TRUE(line_dp_applicable(
+      small_line_problem(3, 16, 1, 5, HeightLaw::kUnit, 1.0)));
+}
+
+TEST(LineDp, MatchesBranchAndBound) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Problem p = small_line_problem(seed, 30, 1, 10, HeightLaw::kUnit,
+                                         1.0);
+    ASSERT_TRUE(line_dp_applicable(p));
+    const ExactResult dp = solve_line_dp(p);
+    const ExactResult bb = solve_exact(p);
+    ASSERT_TRUE(bb.completed);
+    EXPECT_NEAR(dp.profit, bb.profit, 1e-9) << "seed " << seed;
+    EXPECT_NEAR(require_feasible(p, dp.solution), dp.profit, 1e-9);
+  }
+}
+
+TEST(LineDp, HandlesNestedAndTouchingIntervals) {
+  LineProblem line(10, 1);
+  line.add_demand(0, 9, 10, 1.0);  // whole timeline, p=1
+  line.add_demand(0, 4, 5, 2.0);   // first half, p=2
+  line.add_demand(5, 9, 5, 2.5);   // second half, p=2.5 (touches at slot 5)
+  const Problem p = line.lower();
+  ASSERT_TRUE(line_dp_applicable(p));
+  const ExactResult dp = solve_line_dp(p);
+  EXPECT_NEAR(dp.profit, 4.5, 1e-9);
+  EXPECT_EQ(dp.solution.selected.size(), 2u);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,169 @@
+// Fuzz-style cross-checks: randomized structures validated against
+// independent brute-force implementations, plus adversarial inputs that
+// stress the framework's worst-case machinery (exponential profit
+// ladders maximize kill-chain lengths; single-edge hotspots maximize
+// conflict density).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <queue>
+
+#include "common/rng.hpp"
+#include "decomp/layered.hpp"
+#include "dist/scheduler.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "framework/two_phase.hpp"
+#include "test_util.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace treesched {
+namespace {
+
+using testutil::require_feasible;
+
+// Independent BFS distance for cross-checking LCA-based dist().
+int bfs_dist(const TreeNetwork& t, VertexId from, VertexId to) {
+  std::vector<int> dist(static_cast<std::size_t>(t.num_vertices()), -1);
+  std::queue<VertexId> queue;
+  queue.push(from);
+  dist[static_cast<std::size_t>(from)] = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop();
+    if (v == to) return dist[static_cast<std::size_t>(v)];
+    for (const auto& adj : t.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(adj.to)] < 0) {
+        dist[static_cast<std::size_t>(adj.to)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push(adj.to);
+      }
+    }
+  }
+  return -1;
+}
+
+TEST(Fuzz, DistMatchesBfsOnRandomTrees) {
+  Rng rng(404);
+  for (int round = 0; round < 10; ++round) {
+    const TreeShape shape =
+        kAllTreeShapes[rng.next_below(std::size(kAllTreeShapes))];
+    const auto n = static_cast<VertexId>(rng.uniform_int(2, 80));
+    const TreeNetwork t = make_tree(shape, n, rng);
+    for (int q = 0; q < 20; ++q) {
+      const auto u = static_cast<VertexId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<VertexId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      ASSERT_EQ(t.dist(u, v), bfs_dist(t, u, v))
+          << to_string(shape) << " n=" << n << " " << u << "~" << v;
+    }
+  }
+}
+
+TEST(Fuzz, PathVerticesAreExactlyTheOnPathSet) {
+  Rng rng(405);
+  const TreeNetwork t = make_tree(TreeShape::kRandomAttachment, 50, rng);
+  for (int q = 0; q < 30; ++q) {
+    const auto u = static_cast<VertexId>(rng.next_below(50));
+    const auto v = static_cast<VertexId>(rng.next_below(50));
+    const auto path = t.path_vertices(u, v);
+    std::vector<char> on(50, 0);
+    for (VertexId x : path) on[static_cast<std::size_t>(x)] = 1;
+    for (VertexId x = 0; x < 50; ++x)
+      ASSERT_EQ(static_cast<bool>(on[static_cast<std::size_t>(x)]),
+                t.on_path(x, u, v))
+          << x << " on " << u << "~" << v;
+  }
+}
+
+TEST(Fuzz, ExponentialProfitLadderMaximizesKillChains) {
+  // Demands over one shared path with profits 1, 2, 4, ..., 2^k: the
+  // adversarial input for Claim 5.2 — every kill chain is as long as the
+  // bound permits.  The engine must stay within the step budget and the
+  // solution must still meet the theorem bound (trivially: the largest
+  // profit alone dominates half the total).
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(8));
+  Problem p(8, std::move(networks));
+  const int k = 12;
+  for (int i = 0; i <= k; ++i)
+    p.add_demand(0, 7, std::pow(2.0, i));
+  p.finalize();
+  const LayeredPlan plan = build_line_layered_plan(p);
+  SolverConfig config;
+  config.epsilon = 0.1;
+  const SolveResult run = solve_with_plan(p, plan, config);
+  require_feasible(p, run.solution);
+  // All demands conflict, so exactly one is schedulable; the engine must
+  // keep the most profitable one (everything else is killed upward).
+  ASSERT_EQ(run.solution.selected.size(), 1u);
+  EXPECT_DOUBLE_EQ(run.stats.profit, std::pow(2.0, k));
+  // Kill chains of length <= 1 + log2(pmax/pmin) = 1 + k.
+  EXPECT_LE(run.stats.max_steps_in_stage, k + 3);
+}
+
+TEST(Fuzz, HotspotStarConflictsStayFeasible) {
+  // A star where every demand crosses the hub: maximum conflict density.
+  Rng rng(406);
+  std::vector<TreeNetwork> networks;
+  networks.push_back(make_tree(TreeShape::kStar, 30, rng));
+  Problem p(30, std::move(networks));
+  for (int i = 0; i < 25; ++i) {
+    const auto u = static_cast<VertexId>(rng.uniform_int(1, 29));
+    VertexId v;
+    do {
+      v = static_cast<VertexId>(rng.uniform_int(1, 29));
+    } while (v == u);
+    p.add_demand(u, v, rng.uniform(1.0, 50.0));
+  }
+  p.finalize();
+  DistOptions options;
+  const DistResult run = solve_tree_unit_distributed(p, options);
+  require_feasible(p, run.solution);
+  // Every path uses two hub edges; selected paths must be edge-disjoint.
+  EXPECT_GE(run.solution.selected.size(), 1u);
+  EXPECT_LE(run.solution.selected.size(), 14u);  // 29 edges / 2 per path
+}
+
+TEST(Fuzz, RandomProblemsSolveUnderEveryPlan) {
+  // Cross product of random problems and every plan builder: the engine
+  // must produce feasible solutions and monotone satisfaction regardless.
+  Rng rng(407);
+  for (int round = 0; round < 6; ++round) {
+    const Problem p = testutil::small_tree_problem(
+        900 + static_cast<std::uint64_t>(round), 24, 2, 12,
+        round % 2 ? HeightLaw::kBimodal : HeightLaw::kUnit);
+    for (DecompKind kind : {DecompKind::kRootFixing, DecompKind::kBalancing,
+                            DecompKind::kIdeal}) {
+      const LayeredPlan plan = build_tree_layered_plan(p, kind);
+      SolverConfig config;
+      config.rule = p.unit_height() ? RaiseRuleKind::kUnit
+                                    : RaiseRuleKind::kNarrow;
+      const SolveResult run = p.unit_height()
+                                  ? solve_with_plan(p, plan, config)
+                                  : solve_height_split(p, plan, config);
+      require_feasible(p, run.solution);
+      EXPECT_GE(run.stats.lambda_observed, 1.0 - config.epsilon - 1e-6)
+          << to_string(kind) << " round " << round;
+    }
+  }
+}
+
+TEST(Fuzz, ExactSolverOnDenseConflicts) {
+  // Dense all-pairs conflicts: B&B must still complete quickly because
+  // the per-demand branching collapses.
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(4));
+  Problem p(4, std::move(networks));
+  for (int i = 0; i < 20; ++i)
+    p.add_demand(0, 3, 1.0 + i);
+  p.finalize();
+  const ExactResult exact = solve_exact(p);
+  ASSERT_TRUE(exact.completed);
+  EXPECT_DOUBLE_EQ(exact.profit, 20.0);  // only the best fits
+  EXPECT_LT(exact.nodes, 1000);
+}
+
+}  // namespace
+}  // namespace treesched

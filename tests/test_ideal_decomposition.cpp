@@ -1,0 +1,101 @@
+// Lemma 4.1: the ideal decomposition has depth O(log n) — concretely at
+// most 2*ceil(log2 n)+1 for our construction — and pivot size theta <= 2.
+// These property tests sweep shapes, sizes and seeds; together with
+// TreeDecomposition::validate() they check every claim of Section 4.3.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "workload/tree_gen.hpp"
+
+namespace treesched {
+namespace {
+
+int ceil_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+class IdealDecomposition
+    : public ::testing::TestWithParam<std::tuple<TreeShape, int, int>> {};
+
+TEST_P(IdealDecomposition, Lemma41DepthAndPivot) {
+  const auto [shape, n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+  const TreeNetwork t = make_tree(shape, n, rng);
+  const TreeDecomposition h = build_ideal(t);
+
+  const auto validation = h.validate();
+  ASSERT_TRUE(validation.ok) << validation.why;
+  EXPECT_LE(h.pivot_size(), 2) << "theta must be at most 2 (Lemma 4.1)";
+  EXPECT_LE(h.max_depth(), 2 * ceil_log2(n) + 1)
+      << "depth must be at most 2 ceil(log n) + 1 (Lemma 4.1)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IdealDecomposition,
+    ::testing::Combine(::testing::ValuesIn(kAllTreeShapes),
+                       ::testing::Values(2, 3, 5, 17, 64, 200),
+                       ::testing::Values(1, 2, 3, 4)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(IdealDecomposition, DeterministicConstruction) {
+  Rng rng1(5), rng2(5);
+  const TreeNetwork t1 = make_tree(TreeShape::kRandomAttachment, 80, rng1);
+  const TreeNetwork t2 = make_tree(TreeShape::kRandomAttachment, 80, rng2);
+  const TreeDecomposition h1 = build_ideal(t1);
+  const TreeDecomposition h2 = build_ideal(t2);
+  EXPECT_EQ(h1.root(), h2.root());
+  for (VertexId v = 0; v < 80; ++v) EXPECT_EQ(h1.parent(v), h2.parent(v));
+}
+
+TEST(IdealDecomposition, PathOfEight) {
+  // A path exercises Case 2(b) (junction creation) repeatedly.
+  Rng rng(1);
+  const TreeNetwork t = make_tree(TreeShape::kPath, 8, rng);
+  const TreeDecomposition h = build_ideal(t);
+  ASSERT_TRUE(h.validate().ok);
+  EXPECT_LE(h.pivot_size(), 2);
+  EXPECT_LE(h.max_depth(), 2 * 3 + 1);
+}
+
+TEST(IdealDecomposition, LargeRandomTree) {
+  Rng rng(99);
+  const TreeNetwork t = make_tree(TreeShape::kRandomAttachment, 4096, rng);
+  const TreeDecomposition h = build_ideal(t);
+  EXPECT_LE(h.pivot_size(), 2);
+  EXPECT_LE(h.max_depth(), 2 * 12 + 1);
+  // Spot-check validity cheaply: T-edge comparability.
+  for (EdgeId e = 0; e < t.num_edges(); ++e) {
+    const VertexId u = t.edge_u(e), v = t.edge_v(e);
+    EXPECT_TRUE(h.is_ancestor(u, v) || h.is_ancestor(v, u));
+  }
+}
+
+TEST(IdealDecomposition, BetterThanSimpleDecompositions) {
+  // The point of Lemma 4.1: root-fixing has depth n (on a path), the
+  // balancing decomposition's pivot size exceeds 2 (on random trees,
+  // growing towards log n in the worst case), while the ideal
+  // decomposition is good on both axes at once.
+  Rng rng(3);
+  const TreeNetwork path = make_tree(TreeShape::kPath, 256, rng);
+  EXPECT_EQ(build_root_fixing(path).max_depth(), 256);
+  EXPECT_LE(build_ideal(path).max_depth(), 17);
+
+  const TreeNetwork rnd = make_tree(TreeShape::kRandomAttachment, 256, rng);
+  const TreeDecomposition bal = build_balancing(rnd);
+  const TreeDecomposition ideal = build_ideal(rnd);
+  EXPECT_GE(bal.pivot_size(), 3);
+  EXPECT_LE(ideal.pivot_size(), 2);
+  EXPECT_LE(ideal.max_depth(), 17);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,101 @@
+#include "dist/luby_mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/conflict_graph.hpp"
+#include "test_util.hpp"
+
+namespace treesched {
+namespace {
+
+using testutil::small_line_problem;
+using testutil::small_tree_problem;
+
+std::vector<InstanceId> all_instances(const Problem& p) {
+  std::vector<InstanceId> all(static_cast<std::size_t>(p.num_instances()));
+  for (InstanceId i = 0; i < p.num_instances(); ++i)
+    all[static_cast<std::size_t>(i)] = i;
+  return all;
+}
+
+void check_mis(const Problem& p, const std::vector<InstanceId>& candidates,
+               const std::vector<InstanceId>& selected) {
+  // Map into the explicit conflict graph and use its checker.
+  ConflictGraph graph(p, {candidates.data(), candidates.size()});
+  std::vector<int> indexes;
+  for (InstanceId s : selected) {
+    int idx = -1;
+    for (int v = 0; v < graph.size(); ++v)
+      if (graph.instance(v) == s) idx = v;
+    ASSERT_GE(idx, 0);
+    indexes.push_back(idx);
+  }
+  EXPECT_TRUE(graph.is_maximal_independent_set(indexes));
+}
+
+TEST(LubyMis, ValidMisOnTreeProblems) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Problem p = small_tree_problem(seed, 32, 2, 20);
+    LubyMis mis(p, seed * 3 + 1);
+    const auto candidates = all_instances(p);
+    const MisResult result = mis.run(candidates);
+    ASSERT_FALSE(result.selected.empty());
+    EXPECT_GE(result.rounds, 2);
+    EXPECT_EQ(result.rounds % 2, 0);  // 2 rounds per Luby iteration
+    check_mis(p, candidates, result.selected);
+  }
+}
+
+TEST(LubyMis, ValidMisOnLineProblems) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Problem p = small_line_problem(seed, 30, 2, 12, HeightLaw::kUnit,
+                                         2.0);
+    LubyMis mis(p, seed);
+    const auto candidates = all_instances(p);
+    const MisResult result = mis.run(candidates);
+    check_mis(p, candidates, result.selected);
+  }
+}
+
+TEST(LubyMis, WorksOnCandidateSubsets) {
+  const Problem p = small_tree_problem(9, 32, 2, 20);
+  LubyMis mis(p, 5);
+  std::vector<InstanceId> subset;
+  for (InstanceId i = 0; i < p.num_instances(); i += 3) subset.push_back(i);
+  const MisResult result = mis.run(subset);
+  check_mis(p, subset, result.selected);
+  // Selected instances must come from the candidate set.
+  for (InstanceId s : result.selected)
+    EXPECT_NE(std::find(subset.begin(), subset.end(), s), subset.end());
+}
+
+TEST(LubyMis, DeterministicBySeed) {
+  const Problem p = small_tree_problem(11, 32, 2, 20);
+  const auto candidates = all_instances(p);
+  LubyMis a(p, 77), b(p, 77);
+  const MisResult ra = a.run(candidates);
+  const MisResult rb = b.run(candidates);
+  EXPECT_EQ(ra.selected, rb.selected);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+}
+
+TEST(LubyMis, SingletonCandidate) {
+  const Problem p = small_tree_problem(12, 16, 1, 4);
+  LubyMis mis(p, 1);
+  const MisResult result = mis.run(std::vector<InstanceId>{0});
+  EXPECT_EQ(result.selected, std::vector<InstanceId>{0});
+  EXPECT_EQ(result.rounds, 2);
+}
+
+TEST(LubyMis, IterationCountIsLogarithmicOnAverage) {
+  // Luby terminates in O(log N) iterations w.h.p.; with N ~ 300
+  // candidates the observed iteration count should be far below N.
+  const Problem p = small_tree_problem(13, 64, 4, 80);
+  LubyMis mis(p, 3);
+  const auto candidates = all_instances(p);
+  const MisResult result = mis.run(candidates);
+  EXPECT_LE(result.rounds / 2, 30);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,153 @@
+#include "model/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/tree_gen.hpp"
+
+namespace treesched {
+namespace {
+
+Problem two_network_problem() {
+  // Network 0: path 0-1-2-3.  Network 1: star centered at 1.
+  std::vector<TreeNetwork> networks;
+  networks.emplace_back(4, std::vector<std::pair<VertexId, VertexId>>{
+                               {0, 1}, {1, 2}, {2, 3}});
+  networks.emplace_back(4, std::vector<std::pair<VertexId, VertexId>>{
+                               {1, 0}, {1, 2}, {1, 3}});
+  Problem problem(4, std::move(networks));
+  problem.add_demand(0, 3, 10.0);        // d0, both networks
+  problem.add_demand(0, 2, 5.0);         // d1
+  problem.set_access(1, {0});            // d1 restricted to network 0
+  problem.add_demand(2, 3, 2.0, 0.5);    // d2, height 1/2
+  problem.finalize();
+  return problem;
+}
+
+TEST(Problem, InstanceExpansionFollowsAccessSets) {
+  const Problem p = two_network_problem();
+  EXPECT_EQ(p.num_demands(), 3);
+  // d0: 2 instances, d1: 1, d2: 2.
+  EXPECT_EQ(p.num_instances(), 5);
+  EXPECT_EQ(p.instances_of_demand(0).size(), 2u);
+  EXPECT_EQ(p.instances_of_demand(1).size(), 1u);
+  EXPECT_EQ(p.instances_of_demand(2).size(), 2u);
+}
+
+TEST(Problem, GlobalEdgeMappingRoundTrips) {
+  const Problem p = two_network_problem();
+  EXPECT_EQ(p.num_global_edges(), 6);
+  for (NetworkId q = 0; q < p.num_networks(); ++q) {
+    for (EdgeId e = 0; e < p.network(q).num_edges(); ++e) {
+      const auto [qq, ee] = p.edge_owner(p.global_edge(q, e));
+      EXPECT_EQ(qq, q);
+      EXPECT_EQ(ee, e);
+    }
+  }
+}
+
+TEST(Problem, InstancePathsAreCorrect) {
+  const Problem p = two_network_problem();
+  // d0 on network 0: path 0-1-2-3 = local edges {0,1,2} = global {0,1,2}.
+  const auto& i0 = p.instance(p.instances_of_demand(0)[0]);
+  EXPECT_EQ(i0.network, 0);
+  EXPECT_EQ(i0.edges, (std::vector<EdgeId>{0, 1, 2}));
+  // d0 on network 1 (star at 1): path 0-1-3 = local edges {0,2} =
+  // global {3, 5}.
+  const auto& i1 = p.instance(p.instances_of_demand(0)[1]);
+  EXPECT_EQ(i1.network, 1);
+  EXPECT_EQ(i1.edges, (std::vector<EdgeId>{3, 5}));
+}
+
+TEST(Problem, OverlapAndConflict) {
+  const Problem p = two_network_problem();
+  const InstanceId d0n0 = p.instances_of_demand(0)[0];
+  const InstanceId d0n1 = p.instances_of_demand(0)[1];
+  const InstanceId d1n0 = p.instances_of_demand(1)[0];
+  const InstanceId d2n0 = p.instances_of_demand(2)[0];
+  // Same demand, different networks: conflicting but not overlapping.
+  EXPECT_FALSE(p.overlap(d0n0, d0n1));
+  EXPECT_TRUE(p.conflicting(d0n0, d0n1));
+  // d0 and d1 share edges 0,1 on network 0.
+  EXPECT_TRUE(p.overlap(d0n0, d1n0));
+  EXPECT_TRUE(p.overlap(d1n0, d0n0));  // symmetry
+  // d1 [0-2] and d2 [2-3] touch at vertex 2 but share no edge.
+  EXPECT_FALSE(p.overlap(d1n0, d2n0));
+  EXPECT_FALSE(p.conflicting(d1n0, d2n0));
+}
+
+TEST(Problem, InstancesOnEdgeIndex) {
+  const Problem p = two_network_problem();
+  for (EdgeId e = 0; e < p.num_global_edges(); ++e) {
+    for (InstanceId i : p.instances_on_edge(e)) {
+      const auto& edges = p.instance(i).edges;
+      EXPECT_TRUE(std::binary_search(edges.begin(), edges.end(), e));
+    }
+  }
+  // Every instance-edge incidence appears in the index.
+  for (const DemandInstance& inst : p.instances()) {
+    for (EdgeId e : inst.edges) {
+      const auto& lst = p.instances_on_edge(e);
+      EXPECT_NE(std::find(lst.begin(), lst.end(), inst.id), lst.end());
+    }
+  }
+}
+
+TEST(Problem, SummaryStatistics) {
+  const Problem p = two_network_problem();
+  EXPECT_DOUBLE_EQ(p.max_profit(), 10.0);
+  EXPECT_DOUBLE_EQ(p.min_profit(), 2.0);
+  EXPECT_DOUBLE_EQ(p.min_height(), 0.5);
+  EXPECT_DOUBLE_EQ(p.max_height(), 1.0);
+  EXPECT_FALSE(p.unit_height());
+  EXPECT_TRUE(p.uniform_capacity());
+  EXPECT_EQ(p.max_path_length(), 3);
+  EXPECT_EQ(p.min_path_length(), 1);
+  EXPECT_DOUBLE_EQ(p.total_profit(), 17.0);
+}
+
+TEST(Problem, CanCommunicateViaSharedResource) {
+  const Problem p = two_network_problem();
+  EXPECT_TRUE(p.can_communicate(0, 1));   // share network 0
+  EXPECT_TRUE(p.can_communicate(0, 2));
+  EXPECT_TRUE(p.can_communicate(1, 2));   // d1:{0}, d2:{0,1} -> share 0
+}
+
+TEST(Problem, ValidationErrors) {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(4));
+  Problem p(4, std::move(networks));
+  EXPECT_THROW(p.add_demand(0, 0, 1.0), std::invalid_argument);   // u == v
+  EXPECT_THROW(p.add_demand(0, 9, 1.0), std::invalid_argument);   // range
+  EXPECT_THROW(p.add_demand(0, 1, -1.0), std::invalid_argument);  // profit
+  EXPECT_THROW(p.add_demand(0, 1, 1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(p.add_demand(0, 1, 1.0, 0.0), std::invalid_argument);
+  const DemandId d = p.add_demand(0, 1, 1.0);
+  EXPECT_THROW(p.set_access(d, {}), std::invalid_argument);
+  EXPECT_THROW(p.set_access(d, {7}), std::invalid_argument);
+  EXPECT_THROW(p.set_capacity(0, 0, 0.0), std::invalid_argument);
+}
+
+TEST(Problem, NetworksMustShareVertexSet) {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(4));
+  networks.push_back(TreeNetwork::line(5));
+  EXPECT_THROW(Problem(4, std::move(networks)), std::invalid_argument);
+}
+
+TEST(Problem, CapacitiesStored) {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(4));
+  Problem p(4, std::move(networks));
+  p.set_uniform_capacity(2.0);
+  p.set_capacity(0, 1, 5.0);
+  p.add_demand(0, 3, 1.0);
+  p.finalize();
+  EXPECT_DOUBLE_EQ(p.capacity(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.capacity(1), 5.0);
+  EXPECT_DOUBLE_EQ(p.min_capacity(), 2.0);
+  EXPECT_DOUBLE_EQ(p.max_capacity(), 5.0);
+  EXPECT_FALSE(p.uniform_capacity());
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,125 @@
+// The central property sweep: every algorithm, on every scenario family,
+// must (a) produce feasible solutions, (b) stay within its proven
+// approximation bound against the exact optimum, and (c) produce a dual
+// certificate that dominates the exact optimum.  This exercises the whole
+// pipeline — decompositions, plans, raising rules, stage schedules, MIS,
+// pruning — against ground truth across many seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dist/scheduler.hpp"
+#include "seq/sequential.hpp"
+#include "test_util.hpp"
+
+namespace treesched {
+namespace {
+
+using testutil::exact_opt;
+using testutil::require_feasible;
+using testutil::small_line_problem;
+using testutil::small_tree_problem;
+
+enum class Family { kTreeUnit, kTreeBimodal, kLineUnit, kLineBimodal };
+
+const char* to_string(Family f) {
+  switch (f) {
+    case Family::kTreeUnit:
+      return "TreeUnit";
+    case Family::kTreeBimodal:
+      return "TreeBimodal";
+    case Family::kLineUnit:
+      return "LineUnit";
+    case Family::kLineBimodal:
+      return "LineBimodal";
+  }
+  return "?";
+}
+
+Problem build(Family family, std::uint64_t seed) {
+  switch (family) {
+    case Family::kTreeUnit:
+      return small_tree_problem(seed, 18, 2, 8, HeightLaw::kUnit);
+    case Family::kTreeBimodal:
+      return small_tree_problem(seed, 18, 2, 8, HeightLaw::kBimodal);
+    case Family::kLineUnit:
+      return small_line_problem(seed, 20, 2, 7, HeightLaw::kUnit, 1.6);
+    case Family::kLineBimodal:
+      return small_line_problem(seed, 20, 2, 7, HeightLaw::kBimodal, 1.6);
+  }
+  TS_REQUIRE(false);
+  return small_tree_problem(seed);
+}
+
+class RatioProperty
+    : public ::testing::TestWithParam<std::tuple<Family, int>> {};
+
+TEST_P(RatioProperty, AllAlgorithmsWithinBoundsAndCertified) {
+  const auto [family, seed_int] = GetParam();
+  const auto seed = static_cast<std::uint64_t>(seed_int);
+  const Problem p = build(family, seed * 977 + 11);
+  const Profit opt = exact_opt(p);
+  ASSERT_GT(opt, 0.0);
+
+  DistOptions options;
+  options.epsilon = 0.1;
+  options.seed = seed;
+
+  const bool tree = family == Family::kTreeUnit ||
+                    family == Family::kTreeBimodal;
+  const bool unit = p.unit_height();
+
+  // Distributed algorithm per the matching theorem.
+  DistResult dist;
+  if (tree) {
+    dist = unit ? solve_tree_unit_distributed(p, options)
+                : solve_tree_arbitrary_distributed(p, options);
+  } else {
+    dist = unit ? solve_line_unit_distributed(p, options)
+                : solve_line_arbitrary_distributed(p, options);
+  }
+  const Profit dist_profit = require_feasible(p, dist.solution);
+  EXPECT_GE(dist_profit * dist.ratio_bound, opt - 1e-6)
+      << to_string(family) << " distributed breached its bound";
+  EXPECT_GE(dist.stats.dual_upper_bound, opt - 1e-6)
+      << to_string(family) << " dual certificate below OPT";
+
+  // Sequential baseline.
+  SeqResult seq;
+  if (tree) {
+    seq = unit ? solve_tree_unit_sequential(p)
+               : solve_tree_arbitrary_sequential(p);
+  } else {
+    seq = unit ? solve_line_unit_sequential(p)
+               : solve_line_arbitrary_sequential(p);
+  }
+  const Profit seq_profit = require_feasible(p, seq.solution);
+  EXPECT_GE(seq_profit * seq.ratio_bound, opt - 1e-6)
+      << to_string(family) << " sequential breached its bound";
+
+  // PS single-stage baseline (unit-height cases).
+  if (unit) {
+    DistOptions ps = options;
+    ps.stage_mode = StageMode::kSingleStagePS;
+    const DistResult psr = tree ? solve_tree_unit_distributed(p, ps)
+                                : solve_line_unit_distributed(p, ps);
+    const Profit ps_profit = require_feasible(p, psr.solution);
+    EXPECT_GE(ps_profit * psr.ratio_bound, opt - 1e-6)
+        << to_string(family) << " PS baseline breached its bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RatioProperty,
+    ::testing::Combine(::testing::Values(Family::kTreeUnit,
+                                         Family::kTreeBimodal,
+                                         Family::kLineUnit,
+                                         Family::kLineBimodal),
+                       ::testing::Range(1, 11)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace treesched

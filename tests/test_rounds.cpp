@@ -1,0 +1,118 @@
+// Round-complexity claims: Lemma 5.1 (steps per stage = O(log pmax/pmin)
+// via the kill chain of Claim 5.2), the epoch bound from Lemma 4.1, the
+// stage count ceil(log_xi eps), and the accounting identities of the
+// stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/scheduler.hpp"
+#include "test_util.hpp"
+#include "workload/scenario.hpp"
+
+namespace treesched {
+namespace {
+
+using testutil::require_feasible;
+
+Problem profit_range_problem(std::uint64_t seed, double pmax, int m = 40,
+                             VertexId n = 64) {
+  TreeScenarioSpec spec;
+  spec.num_vertices = n;
+  spec.num_networks = 2;
+  spec.demands.num_demands = m;
+  spec.demands.profit_max = pmax;
+  spec.seed = seed;
+  return make_tree_problem(spec);
+}
+
+TEST(Rounds, StepsPerStageBoundedByProfitRange) {
+  // Claim 5.2: along a kill chain profits double, so a stage runs at most
+  // ~1 + log2(pmax/pmin) steps.  Allow +2 slack for threshold rounding.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Problem p = profit_range_problem(seed, 64.0);
+    DistOptions options;
+    options.seed = seed;
+    const DistResult run = solve_tree_unit_distributed(p, options);
+    const double budget =
+        3.0 + std::log2(p.max_profit() / p.min_profit());
+    EXPECT_LE(run.stats.max_steps_in_stage, budget) << "seed " << seed;
+  }
+}
+
+TEST(Rounds, EpochsBoundedByIdealDepth) {
+  for (VertexId n : {32, 128, 512}) {
+    const Problem p = profit_range_problem(3, 16.0, 30, n);
+    DistOptions options;
+    const DistResult run = solve_tree_unit_distributed(p, options);
+    int log2n = 0;
+    while ((1 << log2n) < n) ++log2n;
+    EXPECT_LE(run.stats.epochs, 2 * log2n + 1) << "n=" << n;
+  }
+}
+
+TEST(Rounds, StageCountMatchesXiSchedule) {
+  const Problem p = profit_range_problem(5, 16.0);
+  for (double eps : {0.3, 0.1, 0.05}) {
+    DistOptions options;
+    options.epsilon = eps;
+    const DistResult run = solve_tree_unit_distributed(p, options);
+    // xi derives from the observed Delta (<= 6): ceil(log_xi eps) stages.
+    EXPECT_NEAR(run.stats.xi,
+                2.0 * (run.stats.delta + 1.0) /
+                    (2.0 * (run.stats.delta + 1.0) + 1.0),
+                1e-12);
+    const int expected = static_cast<int>(
+        std::ceil(std::log(eps) / std::log(run.stats.xi)));
+    EXPECT_EQ(run.stats.stages_per_epoch, expected) << "eps=" << eps;
+  }
+}
+
+TEST(Rounds, AccountingIdentities) {
+  const Problem p = profit_range_problem(7, 32.0);
+  DistOptions options;
+  options.count_messages = true;
+  const DistResult run = solve_tree_unit_distributed(p, options);
+  // comm_rounds = mis_rounds + one propagation round per step.
+  EXPECT_EQ(run.stats.comm_rounds, run.stats.mis_rounds + run.stats.steps);
+  EXPECT_GE(run.stats.mis_rounds, 2 * run.stats.steps);  // >= 1 Luby iter
+  EXPECT_GE(run.stats.raises, run.stats.steps);          // >= 1 raise/step
+  EXPECT_EQ(run.stats.message_bytes, run.stats.messages * 48);
+}
+
+TEST(Rounds, MoreStagesForSmallerHmin) {
+  // Section 6: the narrow schedule runs O((1/h_min) log(1/eps)) stages.
+  TreeScenarioSpec spec;
+  spec.num_vertices = 40;
+  spec.demands.num_demands = 25;
+  spec.demands.heights = HeightLaw::kNarrowOnly;
+  spec.seed = 11;
+
+  spec.demands.height_min = 0.4;
+  const Problem coarse = make_tree_problem(spec);
+  spec.demands.height_min = 0.1;
+  const Problem fine = make_tree_problem(spec);
+
+  DistOptions options;
+  const DistResult a = solve_tree_arbitrary_distributed(coarse, options);
+  const DistResult b = solve_tree_arbitrary_distributed(fine, options);
+  EXPECT_GT(b.stats.stages_per_epoch, a.stats.stages_per_epoch);
+}
+
+TEST(Rounds, RoundsGrowSlowlyWithN) {
+  // Thm 5.3: rounds scale with log n (for fixed eps and profit range).
+  // Compare n = 64 against n = 1024: rounds may grow, but far less than
+  // the 16x size factor — we allow 4x.
+  DistOptions options;
+  options.epsilon = 0.2;
+  const Problem small = profit_range_problem(13, 8.0, 60, 64);
+  const Problem large = profit_range_problem(13, 8.0, 60, 1024);
+  const DistResult rs = solve_tree_unit_distributed(small, options);
+  const DistResult rl = solve_tree_unit_distributed(large, options);
+  require_feasible(large, rl.solution);
+  EXPECT_LE(rl.stats.comm_rounds, 4 * std::max<std::int64_t>(
+                                          rs.stats.comm_rounds, 1));
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,109 @@
+#include "dist/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/conflict_graph.hpp"
+#include "test_util.hpp"
+
+namespace treesched {
+namespace {
+
+using testutil::small_tree_problem;
+
+TEST(Runtime, MessagesDeliveredAtRoundBoundary) {
+  Runtime rt(3);
+  rt.connect(0, 1);
+  rt.connect(1, 2);
+  rt.post(Message{0, 1, 7, {1.5}});
+  // Not visible before step().
+  EXPECT_TRUE(rt.drain(1).empty());
+  rt.step();
+  const auto inbox = rt.drain(1);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].from, 0);
+  EXPECT_EQ(inbox[0].tag, 7);
+  EXPECT_DOUBLE_EQ(inbox[0].data[0], 1.5);
+  // Drain empties the box.
+  EXPECT_TRUE(rt.drain(1).empty());
+}
+
+TEST(Runtime, CountsRoundsMessagesBytes) {
+  Runtime rt(2);
+  rt.connect(0, 1);
+  rt.post(Message{0, 1, 0, {1.0, 2.0}});
+  rt.post(Message{1, 0, 0, {}});
+  rt.step();
+  rt.step();
+  EXPECT_EQ(rt.round(), 2);
+  EXPECT_EQ(rt.messages_sent(), 2);
+  EXPECT_EQ(rt.bytes_sent(), (16 + 16) + 16);
+}
+
+TEST(Runtime, ChannelsAreSymmetricAndIdempotent) {
+  Runtime rt(4);
+  rt.connect(2, 3);
+  rt.connect(3, 2);
+  EXPECT_TRUE(rt.connected(2, 3));
+  EXPECT_TRUE(rt.connected(3, 2));
+  EXPECT_FALSE(rt.connected(0, 3));
+  EXPECT_EQ(rt.channels(2).size(), 1u);
+  EXPECT_EQ(rt.channels(3).size(), 1u);
+}
+
+TEST(ConflictGraphs, AdjacencyMatchesConflictPredicate) {
+  const Problem p = small_tree_problem(5, 24, 2, 12);
+  std::vector<InstanceId> all(static_cast<std::size_t>(p.num_instances()));
+  for (InstanceId i = 0; i < p.num_instances(); ++i)
+    all[static_cast<std::size_t>(i)] = i;
+  const ConflictGraph graph(p, {all.data(), all.size()});
+  ASSERT_EQ(graph.size(), p.num_instances());
+  for (int a = 0; a < graph.size(); ++a) {
+    for (int b = 0; b < graph.size(); ++b) {
+      if (a == b) continue;
+      const bool adjacent =
+          std::find(graph.neighbors(a).begin(), graph.neighbors(a).end(), b) !=
+          graph.neighbors(a).end();
+      EXPECT_EQ(adjacent, p.conflicting(graph.instance(a), graph.instance(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(LubyProtocol, MessageLevelRunProducesValidMis) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Problem p = small_tree_problem(seed + 20, 24, 2, 14);
+    std::vector<InstanceId> all(static_cast<std::size_t>(p.num_instances()));
+    for (InstanceId i = 0; i < p.num_instances(); ++i)
+      all[static_cast<std::size_t>(i)] = i;
+    const ConflictGraph graph(p, {all.data(), all.size()});
+    const ProtocolResult result = run_luby_protocol(graph, seed);
+    EXPECT_TRUE(graph.is_maximal_independent_set(result.selected));
+    // 2 synchronous rounds per iteration, at least one iteration.
+    EXPECT_GE(result.rounds, 2);
+    EXPECT_EQ(result.rounds % 2, 0);
+    EXPECT_GT(result.messages, 0);
+    EXPECT_GT(result.bytes, 0);
+  }
+}
+
+TEST(LubyProtocol, IsolatedVerticesSelectImmediately) {
+  // A problem where no instances conflict: everyone joins the MIS in one
+  // iteration with zero messages.
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(7));
+  Problem p(7, std::move(networks));
+  p.add_demand(0, 2, 1.0);
+  p.add_demand(2, 4, 1.0);
+  p.add_demand(4, 6, 1.0);
+  p.finalize();
+  std::vector<InstanceId> all{0, 1, 2};
+  const ConflictGraph graph(p, {all.data(), all.size()});
+  EXPECT_EQ(graph.num_edges(), 0);
+  const ProtocolResult result = run_luby_protocol(graph, 1);
+  EXPECT_EQ(result.selected.size(), 3u);
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_EQ(result.messages, 0);
+}
+
+}  // namespace
+}  // namespace treesched

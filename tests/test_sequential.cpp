@@ -1,0 +1,100 @@
+#include "seq/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/line_dp.hpp"
+#include "test_util.hpp"
+
+namespace treesched {
+namespace {
+
+using testutil::exact_opt;
+using testutil::require_feasible;
+using testutil::small_line_problem;
+using testutil::small_tree_problem;
+
+TEST(SequentialTree, UnitHeightWithinBound) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Problem p = small_tree_problem(seed, 20, 2, 9);
+    const SeqResult run = solve_tree_unit_sequential(p);
+    const Profit profit = require_feasible(p, run.solution);
+    const Profit opt = exact_opt(p);
+    EXPECT_DOUBLE_EQ(run.ratio_bound, 3.0);  // Appendix A, multi-network
+    EXPECT_GE(profit * run.ratio_bound, opt - 1e-6)
+        << "seed " << seed << ": " << profit << " vs OPT " << opt;
+    EXPECT_GE(run.stats.lambda_observed, 1.0 - 1e-6);
+  }
+}
+
+TEST(SequentialTree, SingleNetworkGetsTwoApprox) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Problem p = small_tree_problem(seed + 50, 20, 1, 9);
+    const SeqResult run = solve_tree_unit_sequential(p);
+    EXPECT_DOUBLE_EQ(run.ratio_bound, 2.0);  // alpha raise skipped
+    const Profit profit = require_feasible(p, run.solution);
+    const Profit opt = exact_opt(p);
+    EXPECT_GE(profit * 2.0, opt - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SequentialTree, ArbitraryHeightsFeasibleAndBounded) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = small_tree_problem(seed + 70, 20, 2, 9,
+                                         HeightLaw::kBimodal);
+    const SeqResult run = solve_tree_arbitrary_sequential(p);
+    const Profit profit = require_feasible(p, run.solution);
+    const Profit opt = exact_opt(p);
+    EXPECT_GE(profit * run.ratio_bound, opt - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SequentialLine, UnitHeightIsTwoApprox) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Problem p = small_line_problem(seed, 24, 2, 9, HeightLaw::kUnit,
+                                         1.7);
+    const SeqResult run = solve_line_unit_sequential(p);
+    EXPECT_DOUBLE_EQ(run.ratio_bound, 2.0);
+    const Profit profit = require_feasible(p, run.solution);
+    const Profit opt = exact_opt(p);
+    EXPECT_GE(profit * 2.0, opt - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SequentialLine, UnitAgainstDpReference) {
+  // Single resource, fixed placements: compare directly to the DP optimum.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = small_line_problem(seed + 30, 30, 1, 12,
+                                         HeightLaw::kUnit, 1.0);
+    ASSERT_TRUE(line_dp_applicable(p));
+    const Profit opt = solve_line_dp(p).profit;
+    const SeqResult run = solve_line_unit_sequential(p);
+    const Profit profit = require_feasible(p, run.solution);
+    EXPECT_GE(profit * 2.0, opt - 1e-6) << "seed " << seed;
+    EXPECT_LE(profit, opt + 1e-6);
+  }
+}
+
+TEST(SequentialLine, ArbitraryHeightsIsFiveApprox) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Problem p = small_line_problem(seed + 60, 24, 2, 9,
+                                         HeightLaw::kBimodal, 1.5);
+    const SeqResult run = solve_line_arbitrary_sequential(p);
+    EXPECT_DOUBLE_EQ(run.ratio_bound, 5.0);  // Bar-Noy's classical ratio
+    const Profit profit = require_feasible(p, run.solution);
+    const Profit opt = exact_opt(p);
+    EXPECT_GE(profit * 5.0, opt - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SequentialTree, HandlesSingleDemand) {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(4));
+  Problem p(4, std::move(networks));
+  p.add_demand(0, 3, 7.0);
+  p.finalize();
+  const SeqResult run = solve_tree_unit_sequential(p);
+  EXPECT_NEAR(run.profit, 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace treesched

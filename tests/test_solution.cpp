@@ -1,0 +1,119 @@
+#include "model/solution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace treesched {
+namespace {
+
+Problem line_problem_with_heights() {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(6));
+  Problem p(6, std::move(networks));
+  p.add_demand(0, 3, 1.0, 0.5);  // instance 0: slots 0..2
+  p.add_demand(1, 5, 2.0, 0.7);  // instance 1: slots 1..4
+  p.add_demand(3, 5, 3.0, 0.4);  // instance 2: slots 3..4
+  p.finalize();
+  return p;
+}
+
+TEST(Solution, ProfitSumsSelected) {
+  const Problem p = line_problem_with_heights();
+  Solution s;
+  s.selected = {0, 2};
+  EXPECT_DOUBLE_EQ(s.profit(p), 4.0);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Feasibility, AcceptsValidSolution) {
+  const Problem p = line_problem_with_heights();
+  Solution s;
+  s.selected = {0, 2};  // 0.5 on slots 0-2, 0.4 on 3-4: fine
+  EXPECT_TRUE(check_feasibility(p, s).feasible);
+}
+
+TEST(Feasibility, PaperFigure1Semantics) {
+  // Figure 1 of the paper: {A, C} and {B, C} feasible, {A, B} not.
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(8));
+  Problem p(8, std::move(networks));
+  p.add_demand(0, 4, 1.0, 0.5);  // A
+  p.add_demand(2, 7, 1.0, 0.7);  // B (overlaps A on slots 2,3)
+  p.add_demand(0, 2, 1.0, 0.4);  // C? — make C overlap both lightly
+  p.finalize();
+  Solution ab{{0, 1}};
+  EXPECT_FALSE(check_feasibility(p, ab).feasible);
+  Solution bc{{1, 2}};
+  EXPECT_TRUE(check_feasibility(p, bc).feasible);
+}
+
+TEST(Feasibility, RejectsOverloadedEdge) {
+  const Problem p = line_problem_with_heights();
+  Solution s;
+  s.selected = {0, 1};  // share slots 1-2: 0.5 + 0.7 > 1
+  const auto report = check_feasibility(p, s);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("overloaded"), std::string::npos);
+}
+
+TEST(Feasibility, RejectsDuplicateInstanceAndDemand) {
+  const Problem p = line_problem_with_heights();
+  Solution dup{{0, 0}};
+  EXPECT_FALSE(check_feasibility(p, dup).feasible);
+  Solution bad{{-1}};
+  EXPECT_FALSE(check_feasibility(p, bad).feasible);
+}
+
+TEST(Feasibility, RejectsTwoInstancesOfOneDemand) {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(6));
+  networks.push_back(TreeNetwork::line(6));
+  Problem p(6, std::move(networks));
+  p.add_demand(0, 2, 1.0);
+  p.finalize();
+  ASSERT_EQ(p.num_instances(), 2);
+  Solution s{{0, 1}};
+  const auto report = check_feasibility(p, s);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("demand"), std::string::npos);
+}
+
+TEST(LoadTracker, FitsAddRemove) {
+  const Problem p = line_problem_with_heights();
+  LoadTracker tracker(p);
+  EXPECT_TRUE(tracker.fits(0));
+  tracker.add(0);
+  EXPECT_FALSE(tracker.fits(1));  // 0.5+0.7 over slots 1-2
+  EXPECT_TRUE(tracker.fits(2));
+  tracker.add(2);
+  EXPECT_TRUE(tracker.demand_used(0));
+  EXPECT_TRUE(tracker.demand_used(2));
+  tracker.remove(0);
+  EXPECT_FALSE(tracker.fits(1));  // still blocked by 2 on slots 3-4
+  tracker.remove(2);
+  EXPECT_TRUE(tracker.fits(1));
+  tracker.add(1);
+  tracker.clear();
+  EXPECT_FALSE(tracker.demand_used(1));
+  EXPECT_DOUBLE_EQ(tracker.load(3), 0.0);
+}
+
+TEST(LoadTracker, RespectsCapacities) {
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(4));
+  Problem p(4, std::move(networks));
+  p.set_uniform_capacity(2.0);
+  p.add_demand(0, 3, 1.0);
+  p.add_demand(0, 3, 1.0);
+  p.add_demand(0, 3, 1.0);
+  p.finalize();
+  LoadTracker tracker(p);
+  tracker.add(0);
+  EXPECT_TRUE(tracker.fits(1));  // capacity 2 admits two unit paths
+  tracker.add(1);
+  EXPECT_FALSE(tracker.fits(2));
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,65 @@
+// Shared helpers for the treesched test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_profile.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "model/problem.hpp"
+#include "model/solution.hpp"
+#include "workload/scenario.hpp"
+
+namespace treesched::testutil {
+
+// A small random tree problem sized for exact solving.
+inline Problem small_tree_problem(std::uint64_t seed, VertexId n = 24,
+                                  int r = 2, int m = 10,
+                                  HeightLaw heights = HeightLaw::kUnit,
+                                  TreeShape shape =
+                                      TreeShape::kRandomAttachment) {
+  TreeScenarioSpec spec;
+  spec.shape = shape;
+  spec.num_vertices = n;
+  spec.num_networks = r;
+  spec.demands.num_demands = m;
+  spec.demands.heights = heights;
+  spec.demands.profit_max = 50.0;
+  spec.seed = seed;
+  return make_tree_problem(spec);
+}
+
+// A small random line-with-windows problem sized for exact solving.
+inline Problem small_line_problem(std::uint64_t seed, int slots = 24,
+                                  int resources = 2, int m = 8,
+                                  HeightLaw heights = HeightLaw::kUnit,
+                                  double window_slack = 1.5) {
+  LineScenarioSpec spec;
+  spec.line.num_slots = slots;
+  spec.line.num_resources = resources;
+  spec.line.num_demands = m;
+  spec.line.max_proc_time = slots / 3;
+  spec.line.window_slack = window_slack;
+  spec.line.heights = heights;
+  spec.line.profit_max = 50.0;
+  spec.seed = seed;
+  return make_line_problem(spec);
+}
+
+// Exact optimum; fails the test if the search did not complete.
+inline Profit exact_opt(const Problem& problem) {
+  const ExactResult exact = solve_exact(problem);
+  EXPECT_TRUE(exact.completed) << "exact search hit node limit";
+  const auto report = check_feasibility(problem, exact.solution);
+  EXPECT_TRUE(report.feasible) << report.violation;
+  return exact.profit;
+}
+
+// Asserts the solution is feasible and returns its profit.
+inline Profit require_feasible(const Problem& problem,
+                               const Solution& solution) {
+  const auto report = check_feasibility(problem, solution);
+  EXPECT_TRUE(report.feasible) << report.violation;
+  return solution.profit(problem);
+}
+
+}  // namespace treesched::testutil

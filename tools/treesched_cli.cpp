@@ -1,0 +1,272 @@
+// treesched command-line tool: generate, inspect and solve scheduling
+// problems from the shell.
+//
+//   treesched_cli gen-tree  <out.prob> [--n=64] [--r=2] [--m=50]
+//                 [--shape=random|binary|path|star|caterpillar|broom]
+//                 [--heights=unit|uniform|bimodal|narrow] [--seed=1]
+//                 [--cap-spread=1] [--pmax=100]
+//   treesched_cli gen-line  <out.line> [--slots=64] [--r=2] [--m=40]
+//                 [--slack=2.0] [--heights=...] [--seed=1]
+//   treesched_cli info      <file>
+//   treesched_cli solve     <file> [--algo=auto|tree|line|seq|exact|
+//                 nonuniform] [--eps=0.1] [--ps] [--seed=1]
+//                 [--decomp=ideal|balancing|rootfix] [--out=sol.txt]
+//
+// Files produced by gen-* are the versioned text formats of io/text_io;
+// `solve` auto-detects tree vs line files by their header.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "capacity/nonuniform.hpp"
+#include "dist/scheduler.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "io/text_io.hpp"
+#include "seq/sequential.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  bool has(const std::string& key) const { return flags.contains(key); }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos)
+        args.flags[token.substr(2)] = "1";
+      else
+        args.flags[token.substr(2, eq - 2)] = token.substr(eq + 1);
+    } else if (args.file.empty()) {
+      args.file = token;
+    }
+  }
+  return args;
+}
+
+TreeShape parse_shape(const std::string& name) {
+  if (name == "binary") return TreeShape::kBinary;
+  if (name == "path") return TreeShape::kPath;
+  if (name == "star") return TreeShape::kStar;
+  if (name == "caterpillar") return TreeShape::kCaterpillar;
+  if (name == "broom") return TreeShape::kBroom;
+  return TreeShape::kRandomAttachment;
+}
+
+HeightLaw parse_heights(const std::string& name) {
+  if (name == "uniform") return HeightLaw::kUniformRange;
+  if (name == "bimodal") return HeightLaw::kBimodal;
+  if (name == "narrow") return HeightLaw::kNarrowOnly;
+  return HeightLaw::kUnit;
+}
+
+DecompKind parse_decomp(const std::string& name) {
+  if (name == "balancing") return DecompKind::kBalancing;
+  if (name == "rootfix") return DecompKind::kRootFixing;
+  return DecompKind::kIdeal;
+}
+
+bool is_line_file(const std::string& path) {
+  std::ifstream is(path);
+  std::string token;
+  is >> token;
+  return token == "treesched-line";
+}
+
+int cmd_gen_tree(const Args& args) {
+  TreeScenarioSpec spec;
+  spec.shape = parse_shape(args.get("shape", "random"));
+  spec.num_vertices = static_cast<VertexId>(args.num("n", 64));
+  spec.num_networks = static_cast<int>(args.num("r", 2));
+  spec.demands.num_demands = static_cast<int>(args.num("m", 50));
+  spec.demands.heights = parse_heights(args.get("heights", "unit"));
+  spec.demands.profit_max = args.num("pmax", 100.0);
+  spec.capacity_spread = args.num("cap-spread", 1.0);
+  if (spec.capacity_spread > 1.0)
+    spec.capacities = CapacityLaw::kPowerClasses;
+  spec.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const Problem problem = make_tree_problem(spec);
+  save_problem(args.file, problem);
+  std::printf("wrote %s: %s (%d instances)\n", args.file.c_str(),
+              describe(spec).c_str(), problem.num_instances());
+  return 0;
+}
+
+int cmd_gen_line(const Args& args) {
+  LineGenConfig cfg;
+  cfg.num_slots = static_cast<int>(args.num("slots", 64));
+  cfg.num_resources = static_cast<int>(args.num("r", 2));
+  cfg.num_demands = static_cast<int>(args.num("m", 40));
+  cfg.window_slack = args.num("slack", 2.0);
+  cfg.max_proc_time = static_cast<int>(args.num("max-proc", 12));
+  cfg.heights = parse_heights(args.get("heights", "unit"));
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)));
+  const LineProblem line = make_random_line_problem(cfg, rng);
+  std::ofstream os(args.file);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", args.file.c_str());
+    return 1;
+  }
+  write_line_problem(os, line);
+  std::printf("wrote %s: %d jobs over %d slots x %d resources\n",
+              args.file.c_str(), line.num_demands(), line.num_slots(),
+              line.num_resources());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (is_line_file(args.file)) {
+    std::ifstream is(args.file);
+    const LineProblem line = read_line_problem(is);
+    const Problem problem = line.lower();
+    std::printf("line problem: %d slots, %d resources, %d jobs, "
+                "%d placements\n", line.num_slots(), line.num_resources(),
+                line.num_demands(), problem.num_instances());
+    return 0;
+  }
+  const Problem problem = load_problem(args.file);
+  std::printf("tree problem: n=%d, r=%d, m=%d, instances=%d\n",
+              problem.num_vertices(), problem.num_networks(),
+              problem.num_demands(), problem.num_instances());
+  std::printf("profits [%g, %g], heights [%g, %g], capacities [%g, %g]\n",
+              problem.min_profit(), problem.max_profit(),
+              problem.min_height(), problem.max_height(),
+              problem.min_capacity(), problem.max_capacity());
+  std::printf("path lengths [%d, %d]; unit-height: %s; NBA: %s\n",
+              problem.min_path_length(), problem.max_path_length(),
+              problem.unit_height() ? "yes" : "no",
+              satisfies_nba(problem) ? "yes" : "no");
+  return 0;
+}
+
+void report(const Problem& problem, const Solution& solution, double bound,
+            const SolveStats& stats, const Args& args) {
+  const auto feas = check_feasibility(problem, solution);
+  std::printf("feasible: %s\n", feas.feasible ? "yes" : "no");
+  if (!feas.feasible)
+    std::printf("violation: %s\n", feas.violation.c_str());
+  std::printf("profit: %.3f  (selected %zu of %d demands)\n",
+              solution.profit(problem), solution.size(),
+              problem.num_demands());
+  if (bound > 0.0)
+    std::printf("proven approximation bound: %.2f\n", bound);
+  if (stats.dual_upper_bound > 0.0)
+    std::printf("certified OPT upper bound: %.3f (gap %.3f)\n",
+                stats.dual_upper_bound,
+                stats.dual_upper_bound /
+                    std::max(solution.profit(problem), 1e-9));
+  if (stats.comm_rounds > 0)
+    std::printf("rounds: %lld (epochs %d, stages %d, steps %d)\n",
+                static_cast<long long>(stats.comm_rounds), stats.epochs,
+                stats.stages, stats.steps);
+  if (args.has("out")) {
+    save_solution(args.get("out", ""), solution);
+    std::printf("solution written to %s\n", args.get("out", "").c_str());
+  }
+}
+
+int cmd_solve(const Args& args) {
+  const bool line = is_line_file(args.file);
+  Problem problem = [&] {
+    if (line) {
+      std::ifstream is(args.file);
+      return read_line_problem(is).lower();
+    }
+    return load_problem(args.file);
+  }();
+
+  const std::string algo = args.get("algo", "auto");
+  DistOptions options;
+  options.epsilon = args.num("eps", 0.1);
+  options.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  options.decomp = parse_decomp(args.get("decomp", "ideal"));
+  options.stage_mode = args.has("ps") ? StageMode::kSingleStagePS
+                                      : StageMode::kMultiStage;
+
+  if (algo == "exact") {
+    const ExactResult exact = solve_exact(
+        problem, static_cast<std::int64_t>(args.num("nodes", 2e7)));
+    if (!exact.completed)
+      std::printf("warning: node limit hit; result may be suboptimal\n");
+    report(problem, exact.solution, 1.0, SolveStats{}, args);
+    return 0;
+  }
+  if (algo == "seq") {
+    const SeqResult r =
+        line ? (problem.unit_height() ? solve_line_unit_sequential(problem)
+                                      : solve_line_arbitrary_sequential(
+                                            problem))
+             : (problem.unit_height()
+                    ? solve_tree_unit_sequential(problem)
+                    : solve_tree_arbitrary_sequential(problem));
+    report(problem, r.solution, r.ratio_bound, r.stats, args);
+    return 0;
+  }
+  if (algo == "nonuniform") {
+    NonuniformOptions nopts;
+    nopts.dist = options;
+    nopts.line = line;
+    nopts.by_class = args.has("by-class");
+    const NonuniformResult r =
+        problem.unit_height() ? solve_nonuniform_unit(problem, nopts)
+                              : solve_nonuniform_narrow(problem, nopts);
+    report(problem, r.solution, r.ratio_bound, r.stats, args);
+    return 0;
+  }
+  // auto / tree / line: the matching distributed theorem.
+  const DistResult r =
+      line ? (problem.unit_height()
+                  ? solve_line_unit_distributed(problem, options)
+                  : solve_line_arbitrary_distributed(problem, options))
+           : (problem.unit_height()
+                  ? solve_tree_unit_distributed(problem, options)
+                  : solve_tree_arbitrary_distributed(problem, options));
+  report(problem, r.solution, r.ratio_bound, r.stats, args);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: treesched_cli <gen-tree|gen-line|info|solve> <file> "
+               "[--flags]\n  see the header of tools/treesched_cli.cpp\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command.empty() || args.file.empty()) return usage();
+  try {
+    if (args.command == "gen-tree") return cmd_gen_tree(args);
+    if (args.command == "gen-line") return cmd_gen_line(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "solve") return cmd_solve(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
