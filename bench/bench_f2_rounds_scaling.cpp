@@ -23,6 +23,7 @@ int main() {
   table.set_header({"n", "epochs(mean)", "steps(mean)", "mis-rounds(mean)",
                     "comm-rounds(mean)", "rounds/log2(n)"});
   std::vector<double> xs, ys;
+  std::vector<JsonRecord> runs;
   for (int n : {64, 128, 256, 512, 1024, 2048}) {
     RunningStats epochs, steps, mis, rounds;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
@@ -37,11 +38,16 @@ int main() {
       options.epsilon = 0.2;
       options.seed = seed;
       const DistResult r = solve_tree_unit_distributed(p, options);
-      checked_profit(p, r.solution);
+      const Profit profit = checked_profit(p, r.solution);
       epochs.add(r.stats.epochs);
       steps.add(r.stats.steps);
       mis.add(static_cast<double>(r.stats.mis_rounds));
       rounds.add(static_cast<double>(r.stats.comm_rounds));
+      runs.push_back({{"n", static_cast<double>(n)},
+                      {"seed", static_cast<double>(seed)},
+                      {"rounds", static_cast<double>(r.stats.comm_rounds)},
+                      {"ratio", ratio(r.stats.dual_upper_bound, profit)},
+                      {"profit", profit}});
     }
     const double log2n = std::log2(static_cast<double>(n));
     xs.push_back(log2n);
@@ -51,6 +57,7 @@ int main() {
                    fmt(rounds.mean(), 1), fmt(rounds.mean() / log2n, 1)});
   }
   table.print(std::cout);
+  emit_json("f2_rounds_scaling", runs);
 
   std::printf("\nlinear fit of comm-rounds against log2(n): slope %.1f, "
               "correlation %.3f\n", regression_slope(xs, ys),

@@ -4,9 +4,12 @@
 // output.  All workloads are seeded, so reruns reproduce the tables.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -16,6 +19,41 @@
 #include "model/solution.hpp"
 
 namespace treesched::benchutil {
+
+// One measurement record of a bench run: metric name -> value (e.g.
+// {"seed", 3}, {"rounds", 120}, {"ratio", 1.4}, {"profit", 659.0}).
+using JsonRecord = std::vector<std::pair<std::string, double>>;
+
+// Writes `runs` to BENCH_<bench_id>.json as a JSON array of flat objects
+// — the machine-readable twin of the ASCII tables, consumed by the perf
+// trajectory tooling.  Values are emitted with enough precision to
+// round-trip doubles.
+inline void emit_json(const std::string& bench_id,
+                      const std::vector<JsonRecord>& runs) {
+  const std::string path = "BENCH_" + bench_id + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "emit_json: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "[\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    os << "  {";
+    for (std::size_t f = 0; f < runs[r].size(); ++f) {
+      char value[64];
+      // inf/nan are not valid JSON; emit null so one degenerate metric
+      // cannot invalidate the whole file.
+      if (std::isfinite(runs[r][f].second))
+        std::snprintf(value, sizeof(value), "%.17g", runs[r][f].second);
+      else
+        std::snprintf(value, sizeof(value), "null");
+      os << (f ? ", " : "") << '"' << runs[r][f].first << "\": " << value;
+    }
+    os << (r + 1 < runs.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
 
 inline void print_claim(const std::string& id, const std::string& claim) {
   std::printf("%s\n%s\n", std::string(72, '=').c_str(), id.c_str());

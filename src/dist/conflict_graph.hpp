@@ -1,0 +1,67 @@
+// Explicit conflict graph over a set of demand instances (paper, Section
+// 2): vertices are the given instances; an edge joins two instances that
+// *conflict* — same demand, or overlapping paths on the same network.
+//
+// The two-phase engine never materializes this graph (its Luby oracle
+// works on the implicit edge/demand cliques, see dist/luby_mis.hpp); the
+// explicit form exists for the message-level protocols, whose channel
+// topology is exactly this graph, and for the MIS validity checkers the
+// tests use.  Vertices are dense 0-based indexes into the candidate set,
+// so they double as Runtime node ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+class ConflictGraph {
+ public:
+  // Builds the conflict graph induced by `members` (distinct instances of
+  // `problem`, e.g. one layered-decomposition group).  The problem is
+  // only read during construction.
+  ConflictGraph(const Problem& problem, std::span<const InstanceId> members);
+
+  int size() const { return static_cast<int>(vertices_.size()); }
+  InstanceId instance(int v) const {
+    return vertices_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<int>& neighbors(int v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  std::int64_t num_edges() const { return num_edges_; }
+  int max_degree() const { return max_degree_; }
+
+  // True iff `selected` (vertex indexes) is independent — no two selected
+  // vertices adjacent — and maximal — every unselected vertex has a
+  // selected neighbor.
+  bool is_maximal_independent_set(const std::vector<int>& selected) const;
+
+ private:
+  std::vector<InstanceId> vertices_;
+  std::vector<std::vector<int>> adjacency_;  // sorted
+  std::int64_t num_edges_ = 0;
+  int max_degree_ = 0;
+};
+
+// Outcome of a message-level Luby run on the graph: selected vertex
+// indexes plus the Runtime's round/message/byte accounting.
+struct ProtocolResult {
+  std::vector<int> selected;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+};
+
+// Luby's MIS as a real protocol on the synchronous runtime: one node per
+// graph vertex, one channel per conflict edge, 2 rounds per iteration
+// (draw exchange + winner notification).  Deterministic by seed; see
+// dist/luby_mis.hpp for the accounting model.
+ProtocolResult run_luby_protocol(const ConflictGraph& graph,
+                                 std::uint64_t seed);
+
+}  // namespace treesched

@@ -1,0 +1,193 @@
+#include "dist/luby_mis.hpp"
+
+#include <algorithm>
+
+#include "dist/runtime.hpp"
+
+namespace treesched {
+
+// ---------------------------------------------------------------------------
+// Message-level protocol on the synchronous runtime.
+
+std::vector<int> luby_iteration(const ConflictGraph& graph, Runtime& rt,
+                                std::span<const int> nodes,
+                                std::vector<char>& live,
+                                std::vector<double>& draw,
+                                std::vector<Rng>& node_rng) {
+  // Round 1: every live node draws and tells its live neighbors.  A
+  // decided node is silent, so absence from the inbox encodes death.
+  for (int v : nodes) {
+    if (!live[static_cast<std::size_t>(v)]) continue;
+    draw[static_cast<std::size_t>(v)] =
+        node_rng[static_cast<std::size_t>(v)].uniform();
+    for (int u : graph.neighbors(v))
+      if (live[static_cast<std::size_t>(u)])
+        rt.post(Message{v, u, kLubyTagDraw,
+                        {draw[static_cast<std::size_t>(v)]}});
+  }
+  rt.step();
+
+  // Local decision + round 2: the strict minima of (draw, id) over their
+  // live neighborhoods win and notify.
+  std::vector<int> winners;
+  for (int v : nodes) {
+    if (!live[static_cast<std::size_t>(v)]) continue;
+    bool best = true;
+    for (const Message& m : rt.drain(v)) {
+      TS_REQUIRE(m.tag == kLubyTagDraw);
+      const double other = m.data[0];
+      const double mine = draw[static_cast<std::size_t>(v)];
+      if (other < mine || (other == mine && m.from < v)) {
+        best = false;
+        break;
+      }
+    }
+    if (!best) continue;
+    winners.push_back(v);
+    for (int u : graph.neighbors(v))
+      if (live[static_cast<std::size_t>(u)])
+        rt.post(Message{v, u, kLubyTagWinner, {}});
+  }
+  rt.step();
+
+  // Winners and their notified neighbors leave the live set.  (A winner's
+  // inbox is necessarily empty here: two adjacent live nodes can never
+  // both be strict minima.)
+  for (int v : nodes) {
+    if (!live[static_cast<std::size_t>(v)]) continue;
+    for (const Message& m : rt.drain(v))
+      if (m.tag == kLubyTagWinner) live[static_cast<std::size_t>(v)] = 0;
+  }
+  for (int v : winners) live[static_cast<std::size_t>(v)] = 0;
+  return winners;
+}
+
+ProtocolResult run_luby_protocol(const ConflictGraph& graph,
+                                 std::uint64_t seed) {
+  ProtocolResult result;
+  const int n = graph.size();
+  if (n == 0) return result;
+
+  Runtime rt(n);
+  for (int v = 0; v < n; ++v)
+    for (int u : graph.neighbors(v))
+      if (u > v) rt.connect(v, u);
+
+  // Per-node private random stream: SplitMix64 expands the seed so node
+  // draws are independent of the iteration order, mirroring processors
+  // drawing locally.
+  SplitMix64 expand(seed);
+  std::vector<Rng> node_rng;
+  node_rng.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) node_rng.emplace_back(expand.next());
+
+  std::vector<int> nodes(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) nodes[static_cast<std::size_t>(v)] = v;
+  std::vector<char> live(static_cast<std::size_t>(n), 1);
+  std::vector<double> draw(static_cast<std::size_t>(n), 0.0);
+
+  // Adaptive loop: every iteration at least the globally minimal key
+  // wins, so the live set strictly shrinks.
+  while (std::find(live.begin(), live.end(), char{1}) != live.end()) {
+    const std::vector<int> winners =
+        luby_iteration(graph, rt, nodes, live, draw, node_rng);
+    result.selected.insert(result.selected.end(), winners.begin(),
+                           winners.end());
+  }
+
+  std::sort(result.selected.begin(), result.selected.end());
+  result.rounds = rt.round();
+  result.messages = rt.messages_sent();
+  result.bytes = rt.bytes_sent();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// LubyMis oracle (implicit cliques).
+
+LubyMis::LubyMis(const Problem& problem, std::uint64_t seed)
+    : problem_(&problem),
+      rng_(SplitMix64(seed).next()),
+      edge_min_(static_cast<std::size_t>(problem.num_global_edges())),
+      demand_min_(static_cast<std::size_t>(problem.num_demands())),
+      edge_stamp_(static_cast<std::size_t>(problem.num_global_edges()), 0),
+      demand_stamp_(static_cast<std::size_t>(problem.num_demands()), 0),
+      edge_kill_(static_cast<std::size_t>(problem.num_global_edges()), 0),
+      demand_kill_(static_cast<std::size_t>(problem.num_demands()), 0) {}
+
+MisResult LubyMis::run(std::span<const InstanceId> candidates) {
+  MisResult result;
+  std::vector<InstanceId> live(candidates.begin(), candidates.end());
+  std::vector<double> draw(live.size(), 0.0);
+  std::vector<InstanceId> next;
+  int iterations = 0;
+
+  while (!live.empty()) {
+    ++iterations;
+    ++stamp_;
+
+    // Clique minima of (draw, id) over the live set.  An instance wins the
+    // iteration iff it is the minimum of *every* clique it belongs to —
+    // exactly "my key beats all conflicting neighbors' keys", since the
+    // neighborhood is the union of the instance's cliques.
+    for (std::size_t k = 0; k < live.size(); ++k)
+      draw[k] = rng_.uniform();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const Key key{draw[k], live[k]};
+      const DemandInstance& inst = problem_->instance(live[k]);
+      const auto d = static_cast<std::size_t>(inst.demand);
+      if (demand_stamp_[d] != stamp_ || key < demand_min_[d]) {
+        demand_stamp_[d] = stamp_;
+        demand_min_[d] = key;
+      }
+      for (EdgeId e : inst.edges) {
+        const auto ge = static_cast<std::size_t>(e);
+        if (edge_stamp_[ge] != stamp_ || key < edge_min_[ge]) {
+          edge_stamp_[ge] = stamp_;
+          edge_min_[ge] = key;
+        }
+      }
+    }
+
+    // Winners join the MIS and stamp their cliques as killing.
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const Key key{draw[k], live[k]};
+      const DemandInstance& inst = problem_->instance(live[k]);
+      if (!(demand_min_[static_cast<std::size_t>(inst.demand)] == key))
+        continue;
+      bool wins = true;
+      for (EdgeId e : inst.edges) {
+        if (!(edge_min_[static_cast<std::size_t>(e)] == key)) {
+          wins = false;
+          break;
+        }
+      }
+      if (!wins) continue;
+      result.selected.push_back(live[k]);
+      demand_kill_[static_cast<std::size_t>(inst.demand)] = stamp_;
+      for (EdgeId e : inst.edges)
+        edge_kill_[static_cast<std::size_t>(e)] = stamp_;
+    }
+
+    // Survivors: live instances not conflicting with any winner.
+    next.clear();
+    for (InstanceId i : live) {
+      const DemandInstance& inst = problem_->instance(i);
+      bool dead = demand_kill_[static_cast<std::size_t>(inst.demand)] == stamp_;
+      for (EdgeId e : inst.edges) {
+        if (dead) break;
+        dead = edge_kill_[static_cast<std::size_t>(e)] == stamp_;
+      }
+      if (!dead) next.push_back(i);
+    }
+    live.swap(next);
+    draw.resize(live.size());
+  }
+
+  // The paper's accounting: 2 synchronous rounds per Luby iteration
+  // (draw exchange + winner notification).
+  result.rounds = 2 * std::max(iterations, 1);
+  return result;
+}
+
+}  // namespace treesched

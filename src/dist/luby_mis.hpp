@@ -1,0 +1,83 @@
+// Luby's randomized maximal-independent-set algorithm (paper, Section 5:
+// the T_MIS = O(log n) factor of Theorem 5.3), in two forms.
+//
+// run_luby_protocol() is the *message-level* implementation: one Runtime
+// node per conflict-graph vertex, one channel per conflict edge.  Each
+// iteration costs exactly 2 synchronous rounds — round 1 exchanges the
+// random draws, round 2 notifies neighbors of the winners — and a vertex
+// joins the MIS when its (draw, id) key beats every live neighbor's.
+// Losers adjacent to a winner retire; the loop ends when every vertex has
+// decided.  Isolated vertices win in the first iteration without sending
+// anything, so an edgeless graph finishes in 2 rounds and 0 messages.
+//
+// LubyMis is the production oracle the two-phase engine consumes
+// (framework/two_phase.hpp).  It runs the same iteration structure but on
+// the *implicit* conflict cliques (per-edge and per-demand minima) instead
+// of an explicit graph — O(sum path length) per iteration, no graph
+// construction — and reports the same round accounting: MisResult.rounds
+// = 2 rounds per iteration.  Both forms are deterministic by seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/prelude.hpp"
+#include "common/rng.hpp"
+#include "dist/conflict_graph.hpp"
+#include "dist/runtime.hpp"
+#include "framework/two_phase.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+// Message tags of the Luby protocol rounds.
+inline constexpr int kLubyTagDraw = 0;    // payload: {draw value}
+inline constexpr int kLubyTagWinner = 1;  // payload: {}
+
+// One message-level Luby iteration (exactly 2 synchronous rounds) over
+// the live subset of `nodes`: every live node draws via its private rng,
+// exchanges the draw with its live neighbors, the strict minima of
+// (draw, id) over their live neighborhoods win and notify, and every
+// decided node — winner or notified loser — leaves `live`.  Returns the
+// iteration's winners.  `live`, `draw` and `node_rng` are indexed by
+// graph vertex.  Shared by run_luby_protocol (adaptive loop) and the
+// fixed-budget protocol scheduler so the two message-level paths cannot
+// drift apart.
+std::vector<int> luby_iteration(const ConflictGraph& graph, Runtime& rt,
+                                std::span<const int> nodes,
+                                std::vector<char>& live,
+                                std::vector<double>& draw,
+                                std::vector<Rng>& node_rng);
+
+// Round-counting Luby oracle over the implicit conflict cliques.  One
+// instance is stateful: successive run() calls consume the same random
+// stream, so a whole engine run is reproducible from the seed.
+class LubyMis : public MisOracle {
+ public:
+  LubyMis(const Problem& problem, std::uint64_t seed);
+
+  MisResult run(std::span<const InstanceId> candidates) override;
+
+ private:
+  struct Key {
+    double value = 0.0;
+    InstanceId id = kNoInstance;
+    bool operator<(const Key& o) const {
+      return value < o.value || (value == o.value && id < o.id);
+    }
+    bool operator==(const Key& o) const {
+      return value == o.value && id == o.id;
+    }
+  };
+
+  const Problem* problem_;
+  Rng rng_;
+  // Per-edge / per-demand minimum key over the live candidates, with
+  // iteration stamps so no clearing is needed between iterations.
+  std::vector<Key> edge_min_, demand_min_;
+  std::vector<int> edge_stamp_, demand_stamp_;
+  std::vector<int> edge_kill_, demand_kill_;  // stamped when a winner uses it
+  int stamp_ = 0;
+};
+
+}  // namespace treesched

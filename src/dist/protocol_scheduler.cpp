@@ -1,0 +1,161 @@
+#include "dist/protocol_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dist/conflict_graph.hpp"
+#include "dist/luby_mis.hpp"
+#include "dist/runtime.hpp"
+#include "framework/certify.hpp"
+#include "framework/dual_state.hpp"
+#include "framework/raise_rule.hpp"
+#include "framework/two_phase.hpp"
+
+namespace treesched {
+
+namespace {
+
+// Message tags beyond the Luby rounds (kLubyTagDraw/kLubyTagWinner).
+constexpr int kTagRaise = 2;  // dual propagation: {raise amount}
+constexpr int kTagKeep = 3;   // phase 2: {}
+
+}  // namespace
+
+ProtocolRunResult run_distributed_protocol(const Problem& problem,
+                                           const LayeredPlan& plan,
+                                           const ProtocolOptions& options) {
+  TS_REQUIRE(problem.finalized());
+  TS_REQUIRE(plan.group.size() ==
+             static_cast<std::size_t>(problem.num_instances()));
+  TS_REQUIRE(options.epsilon > 0.0 && options.epsilon < 1.0);
+
+  const int n = problem.num_instances();
+  ProtocolRunResult result;
+
+  // Channel topology: one node per instance, one channel per conflict.
+  // Vertex v of the graph is instance v (the graph is built over the full
+  // instance range, so indexes coincide).
+  std::vector<InstanceId> all(static_cast<std::size_t>(n));
+  for (InstanceId i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  const ConflictGraph graph(problem, {all.data(), all.size()});
+  Runtime rt(std::max(n, 1));
+  for (int v = 0; v < n; ++v)
+    for (int u : graph.neighbors(v))
+      if (u > v) rt.connect(v, u);
+
+  // The fixed schedule, derived from globally known quantities only.
+  result.epochs = plan.num_groups;
+  const double xi =
+      RaiseRule::default_xi(RaiseRuleKind::kUnit, plan.delta, 1.0);
+  result.stages_per_epoch = std::max(
+      1, static_cast<int>(std::ceil(std::log(options.epsilon) / std::log(xi))));
+  result.steps_per_stage = lockstep_step_budget(problem, options.lockstep_slack);
+  result.luby_budget =
+      options.luby_budget > 0
+          ? options.luby_budget
+          : 2 * static_cast<int>(std::ceil(std::log2(
+                    static_cast<double>(std::max(n, 2))))) +
+                2;
+
+  // Per-processor private random streams.
+  SplitMix64 expand(options.seed);
+  std::vector<Rng> node_rng;
+  node_rng.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) node_rng.emplace_back(expand.next());
+
+  DualState dual(problem);
+  const RaiseRule rule(RaiseRuleKind::kUnit, problem);
+
+  const auto unsatisfied = [&](InstanceId i, double target) {
+    const DemandInstance& inst = problem.instance(i);
+    return dual.lhs(inst, rule.beta_coeff(inst)) <
+           target * inst.profit - kEps * inst.profit;
+  };
+  const auto drain_all = [&] {
+    for (int v = 0; v < n; ++v) rt.drain(v);
+  };
+
+  // ---- Phase 1: raise, one fixed-length tuple at a time -------------------
+  std::vector<std::vector<InstanceId>> stack;
+  std::vector<char> live(static_cast<std::size_t>(std::max(n, 1)), 0);
+  std::vector<double> draw(static_cast<std::size_t>(std::max(n, 1)), 0.0);
+
+  for (int g = 0; g < plan.num_groups; ++g) {
+    const auto& members = plan.members[static_cast<std::size_t>(g)];
+    for (int j = 1; j <= result.stages_per_epoch; ++j) {
+      const double target = 1.0 - std::pow(xi, j);
+      for (int s = 0; s < result.steps_per_stage; ++s) {
+        // Participants: group members still below the stage target (a
+        // local test — every processor knows its own dual LHS).
+        std::vector<int> participants;
+        for (InstanceId i : members)
+          if (unsatisfied(i, target)) participants.push_back(i);
+        for (int v : participants) live[static_cast<std::size_t>(v)] = 1;
+
+        // Luby MIS, exactly luby_budget iterations of 2 rounds each.
+        // Decided processors sit out the remaining iterations in silence.
+        std::vector<InstanceId> winners;
+        for (int iter = 0; iter < result.luby_budget; ++iter) {
+          const std::vector<int> won =
+              luby_iteration(graph, rt, participants, live, draw, node_rng);
+          winners.insert(winners.end(), won.begin(), won.end());
+        }
+        for (int v : participants) {
+          if (live[static_cast<std::size_t>(v)]) {
+            result.mis_ok = false;  // budget exhausted with undecided nodes
+            live[static_cast<std::size_t>(v)] = 0;
+          }
+        }
+
+        // Dual-propagation round: every MIS member raises tightly and
+        // ships the raise to all conflicting neighbors.
+        std::sort(winners.begin(), winners.end());
+        for (InstanceId i : winners) {
+          const DemandInstance& inst = problem.instance(i);
+          const auto& critical = plan.critical[static_cast<std::size_t>(i)];
+          const double slack =
+              inst.profit - dual.lhs(inst, rule.beta_coeff(inst));
+          const double amount = rule.delta(inst, critical, slack);
+          dual.raise_alpha(inst.demand, amount);
+          for (EdgeId e : critical)
+            dual.raise_beta(e, rule.beta_increment(inst, critical, amount, e));
+          for (int u : graph.neighbors(i))
+            rt.post(Message{i, u, kTagRaise, {amount}});
+        }
+        rt.step();
+        drain_all();
+        stack.push_back(std::move(winners));
+      }
+      // Lemma 5.1: the fixed step budget must have satisfied the stage.
+      for (InstanceId i : members)
+        if (unsatisfied(i, target)) result.schedule_ok = false;
+    }
+  }
+
+  // ---- Phase 2: reverse replay, 1 keep/drop round per tuple ---------------
+  result.solution = prune_stack(problem, stack);
+  std::vector<char> kept(static_cast<std::size_t>(std::max(n, 1)), 0);
+  for (InstanceId i : result.solution.selected)
+    kept[static_cast<std::size_t>(i)] = 1;
+  std::vector<char> announced(static_cast<std::size_t>(std::max(n, 1)), 0);
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    for (InstanceId i : *it) {
+      if (!kept[static_cast<std::size_t>(i)]) continue;
+      if (announced[static_cast<std::size_t>(i)]) continue;
+      announced[static_cast<std::size_t>(i)] = 1;
+      for (int u : graph.neighbors(i)) rt.post(Message{i, u, kTagKeep, {}});
+    }
+    rt.step();
+    drain_all();
+  }
+
+  result.rounds = rt.round();
+  result.messages = rt.messages_sent();
+  result.bytes = rt.bytes_sent();
+  const std::vector<char> active(static_cast<std::size_t>(n), 1);
+  result.lambda_observed = observed_lambda(problem, dual, rule, active);
+  return result;
+}
+
+}  // namespace treesched

@@ -1,0 +1,57 @@
+#include "dist/runtime.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+Runtime::Runtime(int num_nodes)
+    : adjacency_(static_cast<std::size_t>(num_nodes)),
+      inbox_(static_cast<std::size_t>(num_nodes)) {
+  TS_REQUIRE(num_nodes > 0);
+}
+
+void Runtime::connect(int a, int b) {
+  TS_REQUIRE(valid(a) && valid(b) && a != b);
+  auto& na = adjacency_[static_cast<std::size_t>(a)];
+  const auto it = std::lower_bound(na.begin(), na.end(), b);
+  if (it != na.end() && *it == b) return;  // idempotent
+  na.insert(it, b);
+  auto& nb = adjacency_[static_cast<std::size_t>(b)];
+  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+}
+
+bool Runtime::connected(int a, int b) const {
+  if (!valid(a) || !valid(b)) return false;
+  const auto& na = adjacency_[static_cast<std::size_t>(a)];
+  return std::binary_search(na.begin(), na.end(), b);
+}
+
+const std::vector<int>& Runtime::channels(int node) const {
+  TS_REQUIRE(valid(node));
+  return adjacency_[static_cast<std::size_t>(node)];
+}
+
+void Runtime::post(Message m) {
+  TS_REQUIRE(valid(m.from) && valid(m.to));
+  TS_REQUIRE(connected(m.from, m.to));
+  ++messages_sent_;
+  // 16-byte header (from, to, tag, length) + 8 bytes per payload double.
+  bytes_sent_ += 16 + 8 * static_cast<std::int64_t>(m.data.size());
+  in_flight_.push_back(std::move(m));
+}
+
+void Runtime::step() {
+  ++round_;
+  for (Message& m : in_flight_)
+    inbox_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+  in_flight_.clear();
+}
+
+std::vector<Message> Runtime::drain(int node) {
+  TS_REQUIRE(valid(node));
+  std::vector<Message> out;
+  out.swap(inbox_[static_cast<std::size_t>(node)]);
+  return out;
+}
+
+}  // namespace treesched

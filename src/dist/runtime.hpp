@@ -1,0 +1,75 @@
+// Deterministic synchronous message-passing runtime (paper, Section 1:
+// the standard synchronous model — computation proceeds in rounds, and a
+// message sent in round t is readable at round t+1, never earlier).
+//
+// The runtime hosts n nodes connected by symmetric, idempotent channels
+// (connect(a,b) == connect(b,a); reconnecting is a no-op).  Protocols
+// post() messages during a round; step() advances the round boundary and
+// delivers everything posted since the previous boundary into the
+// receivers' inboxes, which drain() empties.  Nothing is ever delivered
+// mid-round, so a protocol on this runtime cannot accidentally exploit
+// information it would not have in the real synchronous model.
+//
+// The runtime is also the accounting surface for the paper's complexity
+// claims: round(), messages_sent() and bytes_sent() are the quantities
+// Theorems 5.3/6.3/7.1/7.2 bound.  A message is charged a 16-byte header
+// (from, to, tag, length) plus 8 bytes per double of payload — the O(M)
+// bits per message the paper assumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prelude.hpp"
+
+namespace treesched {
+
+// One protocol message.  `data` is the payload; the paper's messages
+// carry O(1) demand records, so a handful of doubles suffices.
+struct Message {
+  int from = -1;
+  int to = -1;
+  int tag = 0;
+  std::vector<double> data;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(int num_nodes);
+
+  // Opens the symmetric channel {a, b}.  Idempotent; a != b.
+  void connect(int a, int b);
+  bool connected(int a, int b) const;
+
+  // Sorted neighbor list of `node` (one entry per channel).
+  const std::vector<int>& channels(int node) const;
+
+  // Queues `m` for delivery at the next round boundary.  Requires an open
+  // channel between m.from and m.to.
+  void post(Message m);
+
+  // Advances the round boundary: every message posted since the previous
+  // step() becomes visible in its receiver's inbox.
+  void step();
+
+  // Removes and returns the inbox of `node` (messages delivered by past
+  // step() calls, in posting order).
+  std::vector<Message> drain(int node);
+
+  int num_nodes() const { return static_cast<int>(inbox_.size()); }
+  int round() const { return round_; }
+  std::int64_t messages_sent() const { return messages_sent_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  bool valid(int node) const { return node >= 0 && node < num_nodes(); }
+
+  std::vector<std::vector<int>> adjacency_;   // sorted neighbor lists
+  std::vector<Message> in_flight_;            // posted, not yet delivered
+  std::vector<std::vector<Message>> inbox_;   // delivered, not yet drained
+  int round_ = 0;
+  std::int64_t messages_sent_ = 0;
+  std::int64_t bytes_sent_ = 0;
+};
+
+}  // namespace treesched

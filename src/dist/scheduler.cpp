@@ -1,0 +1,120 @@
+#include "dist/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dist/luby_mis.hpp"
+
+namespace treesched {
+
+namespace {
+
+SolverConfig make_config(const DistOptions& options, RaiseRuleKind rule) {
+  SolverConfig config;
+  config.epsilon = options.epsilon;
+  config.rule = rule;
+  config.stage_mode = options.stage_mode;
+  config.lockstep = options.lockstep;
+  config.count_messages = options.count_messages;
+  config.check_interference = options.check_interference;
+  return config;
+}
+
+// Final slackness lambda of the configured stage schedule.
+double target_lambda(const DistOptions& options) {
+  return options.stage_mode == StageMode::kSingleStagePS
+             ? 1.0 / (5.0 + options.epsilon)
+             : 1.0 - options.epsilon;
+}
+
+// Unit-height solvers (Theorems 5.3 and 7.1): one engine run with the
+// kUnit rule; bound (Delta+1)/lambda over the observed Delta.
+DistResult solve_unit(const Problem& problem, const LayeredPlan& plan,
+                      const DistOptions& options) {
+  LubyMis oracle(problem, options.seed);
+  SolveResult run =
+      solve_with_plan(problem, plan, make_config(options, RaiseRuleKind::kUnit),
+                      &oracle);
+  DistResult result;
+  result.solution = std::move(run.solution);
+  result.stats = run.stats;
+  result.profit = result.stats.profit;
+  result.ratio_bound = proven_ratio_bound(RaiseRuleKind::kUnit,
+                                          result.stats.delta,
+                                          target_lambda(options));
+  return result;
+}
+
+// Arbitrary-height solvers (Theorems 6.3 and 7.2): wide/narrow split.
+// OPT <= OPT_wide + OPT_narrow, each part is Lemma 3.1/6.1-certified, and
+// the per-network better-of combination dominates both parts — so the
+// price factors of the classes that actually occurred *add*:
+//   bound = ((Delta+1) [if wide] + (1+2 Delta^2) [if narrow]) / lambda.
+// With Delta = 6 (trees, ideal) that is the 80+eps of Theorem 6.3; with
+// Delta = 3 (lines) the 23+eps of Theorem 7.2.
+DistResult solve_arbitrary(const Problem& problem, const LayeredPlan& plan,
+                           const DistOptions& options) {
+  LubyMis oracle(problem, options.seed);
+  SolveResult run = solve_height_split(
+      problem, plan, make_config(options, RaiseRuleKind::kUnit), &oracle);
+  bool has_wide = false, has_narrow = false;
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    if (is_wide_instance(problem.instance(i)))
+      has_wide = true;
+    else
+      has_narrow = true;
+    if (has_wide && has_narrow) break;
+  }
+  DistResult result;
+  result.solution = std::move(run.solution);
+  result.stats = run.stats;
+  result.profit = result.stats.profit;
+  const double lambda = target_lambda(options);
+  double bound = 0.0;
+  if (has_wide)
+    bound += proven_ratio_bound(RaiseRuleKind::kUnit, result.stats.delta,
+                                lambda);
+  if (has_narrow)
+    bound += proven_ratio_bound(RaiseRuleKind::kNarrow, result.stats.delta,
+                                lambda);
+  result.ratio_bound = std::max(bound, 1.0);
+  return result;
+}
+
+}  // namespace
+
+double proven_ratio_bound(RaiseRuleKind rule, int delta, double lambda) {
+  TS_REQUIRE(lambda > 0.0);
+  const auto d = static_cast<double>(delta);
+  const double price =
+      rule == RaiseRuleKind::kUnit ? d + 1.0 : 1.0 + 2.0 * d * d;
+  return std::max(price / lambda, 1.0);
+}
+
+DistResult solve_tree_unit_distributed(const Problem& problem,
+                                       const DistOptions& options) {
+  TS_REQUIRE(problem.unit_height());
+  const LayeredPlan plan = build_tree_layered_plan(problem, options.decomp);
+  return solve_unit(problem, plan, options);
+}
+
+DistResult solve_tree_arbitrary_distributed(const Problem& problem,
+                                            const DistOptions& options) {
+  const LayeredPlan plan = build_tree_layered_plan(problem, options.decomp);
+  return solve_arbitrary(problem, plan, options);
+}
+
+DistResult solve_line_unit_distributed(const Problem& problem,
+                                       const DistOptions& options) {
+  TS_REQUIRE(problem.unit_height());
+  const LayeredPlan plan = build_line_layered_plan(problem);
+  return solve_unit(problem, plan, options);
+}
+
+DistResult solve_line_arbitrary_distributed(const Problem& problem,
+                                            const DistOptions& options) {
+  const LayeredPlan plan = build_line_layered_plan(problem);
+  return solve_arbitrary(problem, plan, options);
+}
+
+}  // namespace treesched

@@ -1,0 +1,81 @@
+// The four distributed schedulers of the paper, as modeled runs of the
+// two-phase engine with the round-counting Luby oracle:
+//
+//   solve_tree_unit_distributed       Theorem 5.3  trees, unit heights,
+//                                     bound (Delta+1)/lambda  <= 7+eps
+//   solve_tree_arbitrary_distributed  Theorem 6.3  trees, arbitrary
+//                                     heights, wide/narrow split, bound
+//                                     ((Delta+1) + (1+2 Delta^2))/lambda
+//                                     <= 80+eps
+//   solve_line_unit_distributed       Theorem 7.1  lines, unit, <= 4+eps
+//   solve_line_arbitrary_distributed  Theorem 7.2  lines, arbitrary,
+//                                     <= 23+eps
+//
+// "Modeled" means the dual state is kept centrally while every
+// communication-relevant event is accounted exactly as the protocol would
+// spend it: each MIS costs the Luby oracle's 2 rounds per iteration, each
+// step one extra dual-propagation round, and (optionally) each raise one
+// notification message per conflicting neighbor.  The message-level
+// counterpart that actually puts these bits on the wire lives in
+// dist/protocol_scheduler.hpp; the modeled form is what benchmarks and
+// large-scale runs use.
+//
+// The reported ratio_bound uses the *observed* Delta of the run, which
+// can be smaller than the theorem's worst case (ideal decomposition:
+// Delta <= 6; lines: Delta <= 3) — the bound is then better, never worse.
+#pragma once
+
+#include <cstdint>
+
+#include "decomp/layered.hpp"
+#include "decomp/tree_decomposition.hpp"
+#include "framework/two_phase.hpp"
+#include "model/problem.hpp"
+#include "model/solution.hpp"
+
+namespace treesched {
+
+struct DistOptions {
+  double epsilon = 0.1;  // target slackness 1-eps (multi-stage mode)
+  std::uint64_t seed = 1;
+  // Tree decomposition backing the layered plan (tree solvers only).
+  DecompKind decomp = DecompKind::kIdeal;
+  // kMultiStage = this paper; kSingleStagePS = Panconesi-Sozio baseline
+  // with lambda = 1/(5+eps).
+  StageMode stage_mode = StageMode::kMultiStage;
+  // Lockstep stage schedule (Section 5 "Distributed Implementation").
+  bool lockstep = false;
+  // Count per-raise notification messages in the stats.
+  bool count_messages = false;
+  // Runtime verification of the interference property (quadratic; tests).
+  bool check_interference = false;
+};
+
+struct DistResult {
+  Solution solution;
+  SolveStats stats;
+  double profit = 0.0;
+  double ratio_bound = 0.0;  // proven approximation factor of this run
+};
+
+// Lemma 3.1 / Lemma 6.1 approximation bound for a run with critical-set
+// size `delta` and slackness `lambda`: price_factor(rule, delta) / lambda.
+double proven_ratio_bound(RaiseRuleKind rule, int delta, double lambda);
+
+// Theorem 5.3 (requires unit heights).
+DistResult solve_tree_unit_distributed(const Problem& problem,
+                                       const DistOptions& options = {});
+
+// Theorem 6.3 (any heights; wide/narrow split internally).
+DistResult solve_tree_arbitrary_distributed(const Problem& problem,
+                                            const DistOptions& options = {});
+
+// Theorem 7.1 (requires unit heights; line layered plan, Delta <= 3).
+DistResult solve_line_unit_distributed(const Problem& problem,
+                                       const DistOptions& options = {});
+
+// Theorem 7.2 (any heights; line layered plan).
+DistResult solve_line_arbitrary_distributed(const Problem& problem,
+                                            const DistOptions& options = {});
+
+}  // namespace treesched

@@ -212,12 +212,9 @@ SolveResult TwoPhaseEngine::run() {
     if (members.empty()) continue;
     ++stats.epochs;
 
-    // Lockstep mode: the fixed per-stage budget of Lemma 5.1 (profits
-    // double along kill chains, so ~log2(pmax/pmin) steps suffice).
+    // Lockstep mode: the fixed per-stage budget of Lemma 5.1.
     const int lockstep_budget =
-        1 + config_.lockstep_slack +
-        static_cast<int>(std::ceil(
-            std::log2(problem_->max_profit() / problem_->min_profit())));
+        lockstep_step_budget(*problem_, config_.lockstep_slack);
 
     for (int j = 1; j <= stages_per_epoch; ++j) {
       const double target = config_.stage_mode == StageMode::kMultiStage
@@ -284,6 +281,12 @@ SolveResult TwoPhaseEngine::run() {
   return result;
 }
 
+int lockstep_step_budget(const Problem& problem, int slack) {
+  return 1 + slack +
+         static_cast<int>(std::ceil(
+             std::log2(problem.max_profit() / problem.min_profit())));
+}
+
 // ---------------------------------------------------------------------------
 // Convenience wrappers
 
@@ -297,7 +300,7 @@ SolveResult solve_height_split(const Problem& problem, const LayeredPlan& plan,
                                const SolverConfig& config, MisOracle* oracle) {
   std::vector<InstanceId> wide, narrow;
   for (InstanceId i = 0; i < problem.num_instances(); ++i) {
-    if (problem.instance(i).height > 0.5)
+    if (is_wide_instance(problem.instance(i)))
       wide.push_back(i);
     else
       narrow.push_back(i);

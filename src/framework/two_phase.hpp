@@ -168,6 +168,20 @@ class TwoPhaseEngine {
   int notify_stamp_ = 0;
 };
 
+// Wide/narrow classification of the arbitrary-height case (paper,
+// Section 6): wide instances (h > 1/2) run under the kUnit rule, the
+// rest under kNarrow.  Shared by solve_height_split and the distributed
+// solvers' ratio-bound derivation so the two can never disagree.
+inline bool is_wide_instance(const DemandInstance& inst) {
+  return inst.height > 0.5;
+}
+
+// The fixed per-stage step budget of Lemma 5.1: profits double along
+// kill chains (Claim 5.2), so 1 + slack + ceil(log2(pmax/pmin)) steps
+// suffice.  Shared by the engine's lockstep mode and the message-level
+// protocol so both verify the *same* budget.
+int lockstep_step_budget(const Problem& problem, int slack);
+
 // Reverse greedy pruning of the raise stack (phase 2 of the framework).
 Solution prune_stack(const Problem& problem,
                      const std::vector<std::vector<InstanceId>>& stack);

@@ -6,6 +6,8 @@
 
 #include <cmath>
 
+#include "decomp/layered.hpp"
+#include "dist/luby_mis.hpp"
 #include "dist/scheduler.hpp"
 #include "test_util.hpp"
 #include "workload/scenario.hpp"
@@ -78,6 +80,54 @@ TEST(Rounds, AccountingIdentities) {
   EXPECT_GE(run.stats.mis_rounds, 2 * run.stats.steps);  // >= 1 Luby iter
   EXPECT_GE(run.stats.raises, run.stats.steps);          // >= 1 raise/step
   EXPECT_EQ(run.stats.message_bytes, run.stats.messages * 48);
+}
+
+// Wraps the Luby oracle and records every MIS round count it reports, so
+// the engine's aggregate accounting can be checked against ground truth.
+class RecordingLuby : public MisOracle {
+ public:
+  RecordingLuby(const Problem& problem, std::uint64_t seed)
+      : inner_(problem, seed) {}
+  MisResult run(std::span<const InstanceId> candidates) override {
+    MisResult result = inner_.run(candidates);
+    total_rounds_ += result.rounds;
+    ++calls_;
+    return result;
+  }
+  std::int64_t total_rounds() const { return total_rounds_; }
+  int calls() const { return calls_; }
+
+ private:
+  LubyMis inner_;
+  std::int64_t total_rounds_ = 0;
+  int calls_ = 0;
+};
+
+TEST(Rounds, CommRoundsEqualSumOfLubyOracleRounds) {
+  // The exact accounting identity of the modeled engine: mis_rounds is
+  // *precisely* the sum of the per-MIS round counts the Luby oracle
+  // reported, and comm_rounds adds exactly one dual-propagation round per
+  // step.  A fixed seed makes the Luby randomness reproducible, so the
+  // identity is exact, not statistical.
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    const Problem p = profit_range_problem(seed, 32.0);
+    const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+    SolverConfig config;
+    config.epsilon = 0.1;
+    RecordingLuby oracle(p, seed);
+    const SolveResult run = solve_with_plan(p, plan, config, &oracle);
+    EXPECT_EQ(run.stats.mis_rounds, oracle.total_rounds()) << "seed " << seed;
+    EXPECT_EQ(run.stats.steps, oracle.calls()) << "seed " << seed;
+    EXPECT_EQ(run.stats.comm_rounds, oracle.total_rounds() + run.stats.steps)
+        << "seed " << seed;
+    // The modeled run and a fresh DistResult on the same seed agree.
+    DistOptions options;
+    options.epsilon = 0.1;
+    options.seed = seed;
+    const DistResult dist = solve_tree_unit_distributed(p, options);
+    EXPECT_EQ(dist.stats.comm_rounds, run.stats.comm_rounds);
+    EXPECT_EQ(dist.stats.mis_rounds, run.stats.mis_rounds);
+  }
 }
 
 TEST(Rounds, MoreStagesForSmallerHmin) {
