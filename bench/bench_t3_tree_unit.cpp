@@ -31,11 +31,13 @@ int main() {
               "rounds; Appendix A sequential: 3 (2 if r=1)");
 
   const double eps = 0.1;
+  std::vector<JsonRecord> runs;
 
   // Small workloads with exact optimum, per tree shape.
   Table small("T3a  small workloads (n=20, m=9, exact OPT, 12 seeds/shape)");
   small.set_header({"shape", "algorithm", "ratio(mean)", "ratio(worst)",
                     "cert-gap(mean)", "proven-bound", "rounds(mean)"});
+  int shape_index = 0;
   for (TreeShape shape : {TreeShape::kRandomAttachment, TreeShape::kBinary,
                           TreeShape::kCaterpillar, TreeShape::kStar}) {
     Aggregate ours, seq, ps;
@@ -47,24 +49,38 @@ int main() {
       options.seed = seed;
 
       const DistResult a = solve_tree_unit_distributed(p, options);
-      ours.ratio_vs_opt.add(
-          ratio(exact.profit, checked_profit(p, a.solution)));
+      const double a_ratio =
+          ratio(exact.profit, checked_profit(p, a.solution));
+      ours.ratio_vs_opt.add(a_ratio);
       ours.ratio_vs_cert.add(ratio(a.stats.dual_upper_bound, a.profit));
       ours.rounds.add(static_cast<double>(a.stats.comm_rounds));
 
       DistOptions ps_options = options;
       ps_options.stage_mode = StageMode::kSingleStagePS;
       const DistResult b = solve_tree_unit_distributed(p, ps_options);
-      ps.ratio_vs_opt.add(ratio(exact.profit, checked_profit(p, b.solution)));
+      const double b_ratio =
+          ratio(exact.profit, checked_profit(p, b.solution));
+      ps.ratio_vs_opt.add(b_ratio);
       ps.ratio_vs_cert.add(ratio(b.stats.dual_upper_bound, b.profit));
       ps.rounds.add(static_cast<double>(b.stats.comm_rounds));
 
       const SeqResult c = solve_tree_unit_sequential(p);
-      seq.ratio_vs_opt.add(
-          ratio(exact.profit, checked_profit(p, c.solution)));
+      const double c_ratio =
+          ratio(exact.profit, checked_profit(p, c.solution));
+      seq.ratio_vs_opt.add(c_ratio);
       seq.ratio_vs_cert.add(ratio(c.stats.dual_upper_bound, c.profit));
       seq.rounds.add(static_cast<double>(c.stats.steps));
+
+      runs.push_back(
+          {{"workload", 0.0},
+           {"shape", static_cast<double>(shape_index)},
+           {"seed", static_cast<double>(seed)},
+           {"ours_ratio", a_ratio},
+           {"ours_rounds", static_cast<double>(a.stats.comm_rounds)},
+           {"ps_ratio", b_ratio},
+           {"seq_ratio", c_ratio}});
     }
+    ++shape_index;
     auto emit = [&](const char* name, const Aggregate& agg, double bound) {
       small.add_row({to_string(shape), name, fmt(agg.ratio_vs_opt.mean(), 3),
                      fmt(agg.ratio_vs_opt.max(), 3),
@@ -94,8 +110,15 @@ int main() {
                    std::to_string(a.stats.epochs),
                    std::to_string(a.stats.steps),
                    std::to_string(a.stats.comm_rounds), "19"});
+    runs.push_back({{"workload", 1.0},
+                    {"seed", static_cast<double>(seed)},
+                    {"profit", profit},
+                    {"cert_gap", ratio(a.stats.dual_upper_bound, profit)},
+                    {"epochs", static_cast<double>(a.stats.epochs)},
+                    {"rounds", static_cast<double>(a.stats.comm_rounds)}});
   }
   large.print(std::cout);
+  emit_json("t3_tree_unit", runs);
 
   std::printf("\nexpected shape: distributed mean ratio ~1.1-1.6 (bound "
               "7.8); sequential slightly better ratio but Theta(n)-ish "

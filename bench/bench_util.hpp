@@ -4,6 +4,7 @@
 // output.  All workloads are seeded, so reruns reproduce the tables.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -78,6 +79,30 @@ inline Profit checked_profit(const Problem& problem,
     std::abort();
   }
   return solution.profit(problem);
+}
+
+// Vendored fallback timer for environments without google-benchmark:
+// runs `fn` until at least `min_iters` iterations and `min_seconds` of
+// wall clock have elapsed, and returns the mean nanoseconds per
+// iteration.  Deliberately simple — no statistical outlier handling —
+// but enough for every environment to report kernel timings instead of
+// silently skipping them.
+template <typename Fn>
+inline double time_kernel_ns(Fn&& fn, int min_iters = 3,
+                             double min_seconds = 0.2) {
+  using clock = std::chrono::steady_clock;
+  // The clock is read once per batch of min_iters calls, not once per
+  // call — a per-iteration now() would inflate ns/op for fast kernels.
+  const int batch = min_iters > 0 ? min_iters : 1;
+  const auto start = clock::now();
+  long long iters = 0;
+  double seconds = 0.0;
+  do {
+    for (int b = 0; b < batch; ++b) fn();
+    iters += batch;
+    seconds = std::chrono::duration<double>(clock::now() - start).count();
+  } while (seconds < min_seconds);
+  return seconds * 1e9 / static_cast<double>(iters);
 }
 
 // Aggregates per-seed ratio/round measurements into one table row.

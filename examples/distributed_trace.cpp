@@ -27,20 +27,23 @@ int main() {
       static_cast<std::size_t>(problem.num_instances()));
   for (InstanceId i = 0; i < problem.num_instances(); ++i)
     all[static_cast<std::size_t>(i)] = i;
-  const ConflictGraph graph(problem, {all.data(), all.size()});
-
-  std::printf("conflict graph: %d vertices, %lld edges, max degree %d\n",
-              graph.size(), static_cast<long long>(graph.num_edges()),
-              graph.max_degree());
-
-  // Message-level protocol on the synchronous runtime.
-  const ProtocolResult protocol = run_luby_protocol(graph, /*seed=*/42);
+  // Message-level protocol on the synchronous runtime: neighborhoods are
+  // *discovered* by the 2-round edge-owner rendezvous; no processor ever
+  // holds the global conflict graph.
+  const ProtocolResult protocol =
+      run_luby_protocol(problem, {all.data(), all.size()}, /*seed=*/42);
+  std::printf("conflict discovery: 2 rendezvous rounds, %lld messages "
+              "(%lld bytes)\n",
+              static_cast<long long>(protocol.discovery_messages),
+              static_cast<long long>(protocol.discovery_bytes));
   std::printf("message-level Luby: MIS size %zu, %lld rounds, %lld messages"
-              " (%lld bytes)\n",
+              " (%lld bytes, discovery included)\n",
               protocol.selected.size(),
               static_cast<long long>(protocol.rounds),
               static_cast<long long>(protocol.messages),
               static_cast<long long>(protocol.bytes));
+  // The explicit graph appears only here, as the validity oracle.
+  const ConflictGraph graph(problem, {all.data(), all.size()});
   std::printf("valid maximal independent set: %s\n",
               graph.is_maximal_independent_set(protocol.selected) ? "yes"
                                                                   : "no");
@@ -69,8 +72,10 @@ int main() {
   std::printf("\nfull protocol run: %d epochs x %d stages x %d steps, "
               "Luby budget %d\n", run.epochs, run.stages_per_epoch,
               run.steps_per_stage, run.luby_budget);
-  std::printf("  rounds %lld, messages %lld (%lld bytes)\n",
+  std::printf("  rounds %lld (%lld discovery), messages %lld (%lld bytes); "
+              "duals sharded per processor\n",
               static_cast<long long>(run.rounds),
+              static_cast<long long>(run.discovery_rounds),
               static_cast<long long>(run.messages),
               static_cast<long long>(run.bytes));
   std::printf("  profit %.1f, feasible %s, lambda %.3f, budgets %s\n",

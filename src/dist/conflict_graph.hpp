@@ -2,12 +2,15 @@
 // 2): vertices are the given instances; an edge joins two instances that
 // *conflict* — same demand, or overlapping paths on the same network.
 //
-// The two-phase engine never materializes this graph (its Luby oracle
-// works on the implicit edge/demand cliques, see dist/luby_mis.hpp); the
-// explicit form exists for the message-level protocols, whose channel
-// topology is exactly this graph, and for the MIS validity checkers the
-// tests use.  Vertices are dense 0-based indexes into the candidate set,
-// so they double as Runtime node ids.
+// This is a TEST ORACLE.  No production path materializes the global
+// graph anymore: the two-phase engine's Luby oracle works on the
+// implicit edge/demand cliques (dist/luby_mis.hpp), and the
+// message-level protocols learn their neighborhoods through the
+// edge-owner rendezvous rounds of dist/discovery.hpp.  The explicit form
+// survives for the MIS validity checkers and the parity tests that pin
+// the rendezvous-discovered adjacency to the ground truth
+// (tests/test_discovery.cpp).  Vertices are dense 0-based indexes into
+// the candidate set, so they align with discovery's member indexes.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +36,11 @@ class ConflictGraph {
   const std::vector<int>& neighbors(int v) const {
     return adjacency_[static_cast<std::size_t>(v)];
   }
+  // The full adjacency (sorted per vertex) — comparable 1:1 with
+  // DiscoveredNeighborhoods::neighbors.
+  const std::vector<std::vector<int>>& adjacency() const {
+    return adjacency_;
+  }
   std::int64_t num_edges() const { return num_edges_; }
   int max_degree() const { return max_degree_; }
 
@@ -47,21 +55,5 @@ class ConflictGraph {
   std::int64_t num_edges_ = 0;
   int max_degree_ = 0;
 };
-
-// Outcome of a message-level Luby run on the graph: selected vertex
-// indexes plus the Runtime's round/message/byte accounting.
-struct ProtocolResult {
-  std::vector<int> selected;
-  std::int64_t rounds = 0;
-  std::int64_t messages = 0;
-  std::int64_t bytes = 0;
-};
-
-// Luby's MIS as a real protocol on the synchronous runtime: one node per
-// graph vertex, one channel per conflict edge, 2 rounds per iteration
-// (draw exchange + winner notification).  Deterministic by seed; see
-// dist/luby_mis.hpp for the accounting model.
-ProtocolResult run_luby_protocol(const ConflictGraph& graph,
-                                 std::uint64_t seed);
 
 }  // namespace treesched

@@ -1,0 +1,108 @@
+#include "dist/discovery.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+RendezvousLayout RendezvousLayout::for_problem(const Problem& problem,
+                                               int members) {
+  TS_REQUIRE(problem.finalized());
+  TS_REQUIRE(members >= 0);
+  RendezvousLayout layout;
+  layout.members = members;
+  layout.edge_base = members;
+  layout.demand_base = members + problem.num_global_edges();
+  layout.total = layout.demand_base + problem.num_demands();
+  return layout;
+}
+
+std::int64_t DiscoveredNeighborhoods::num_edges() const {
+  std::int64_t endpoints = 0;
+  for (const auto& adj : neighbors)
+    endpoints += static_cast<std::int64_t>(adj.size());
+  return endpoints / 2;  // every conflict counted from both ends
+}
+
+int DiscoveredNeighborhoods::max_degree() const {
+  std::size_t degree = 0;
+  for (const auto& adj : neighbors) degree = std::max(degree, adj.size());
+  return static_cast<int>(degree);
+}
+
+DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
+                                           std::span<const InstanceId> members,
+                                           Runtime& rt) {
+  const int k = static_cast<int>(members.size());
+  const RendezvousLayout layout = RendezvousLayout::for_problem(problem, k);
+  TS_REQUIRE(rt.num_nodes() >= layout.total);
+
+  DiscoveredNeighborhoods result;
+  result.neighbors.resize(members.size());
+  if (k == 0) return result;
+
+  const int rounds_before = rt.round();
+  const std::int64_t messages_before = rt.messages_sent();
+  const std::int64_t bytes_before = rt.bytes_sent();
+
+  // Round 1: every member registers with the owner of each edge on its
+  // path and with its demand's owner.  Opening the member-owner channel
+  // is part of the model (a processor knows the owners of its own
+  // resources); the registration message is what gets charged.
+  std::vector<int> owners;
+  for (int v = 0; v < k; ++v) {
+    const DemandInstance& inst =
+        problem.instance(members[static_cast<std::size_t>(v)]);
+    const int demand_owner = layout.demand_owner(inst.demand);
+    rt.connect(v, demand_owner);
+    owners.push_back(demand_owner);
+    rt.post(Message{v, demand_owner, kTagRegister, {}});
+    for (EdgeId e : inst.edges) {
+      const int edge_owner = layout.edge_owner(e);
+      rt.connect(v, edge_owner);
+      owners.push_back(edge_owner);
+      rt.post(Message{v, edge_owner, kTagRegister, {}});
+    }
+  }
+  rt.step();
+
+  // Round 2: every owner replies to each registrant with the rest of its
+  // bucket.  A singleton bucket needs no reply: in the fixed 2-round
+  // schedule, silence encodes "no conflicts on this resource".
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  for (int owner : owners) {
+    const std::vector<Message> inbox = rt.drain(owner);
+    if (inbox.size() < 2) continue;
+    for (const Message& registrant : inbox) {
+      std::vector<double> payload;
+      payload.reserve(inbox.size() - 1);
+      for (const Message& other : inbox)
+        if (other.from != registrant.from)
+          payload.push_back(static_cast<double>(other.from));
+      rt.post(Message{owner, registrant.from, kTagBucket,
+                      std::move(payload)});
+    }
+  }
+  rt.step();
+
+  // Members union the replies into their conflict neighborhoods and open
+  // the member-member channels the adjacency implies.
+  for (int v = 0; v < k; ++v) {
+    std::vector<int>& adj = result.neighbors[static_cast<std::size_t>(v)];
+    for (const Message& m : rt.drain(v)) {
+      TS_REQUIRE(m.tag == kTagBucket);
+      for (double id : m.data) adj.push_back(static_cast<int>(id));
+    }
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    for (int u : adj)
+      if (u > v) rt.connect(v, u);
+  }
+
+  result.rounds = rt.round() - rounds_before;
+  result.messages = rt.messages_sent() - messages_before;
+  result.bytes = rt.bytes_sent() - bytes_before;
+  return result;
+}
+
+}  // namespace treesched

@@ -1,0 +1,80 @@
+// Distributed conflict discovery via edge-owner rendezvous (paper,
+// Section 2 conflict model; the rendezvous pattern is the standard
+// neighborhood-learning primitive of distributed scheduling — cf.
+// Halldorsson-Mitra's SINR scheduling and Pei-Kumar's maximum link
+// scheduling, where processors learn exactly the neighbors they share a
+// resource with, never the global graph).
+//
+// The model: every resource has an owner processor — one per global edge
+// and one per demand.  Discovery is two synchronous rounds on the
+// Runtime:
+//
+//   round 1  every member instance posts a registration to the owner of
+//            each edge on its path and to its demand's owner;
+//   round 2  every owner replies to each registrant with the rest of its
+//            bucket (a bucket of one needs no reply — silence encodes an
+//            empty neighborhood on that resource).
+//
+// The union of the replies a member receives is exactly its ConflictGraph
+// neighborhood (conflicting = same demand, or overlapping paths), but no
+// processor — and no step of the computation — ever holds the global
+// graph.  All traffic is charged to the Runtime's round/message/byte
+// counters, so protocols built on discovered neighborhoods account for
+// what learning the topology actually costs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "dist/runtime.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+// Message tags of the rendezvous rounds (disjoint from the Luby and
+// protocol-scheduler tags).
+inline constexpr int kTagRegister = 10;  // payload: {}
+inline constexpr int kTagBucket = 11;    // payload: {member indexes...}
+
+// Node layout of a discovery-capable runtime: the k member processors
+// occupy [0, k); the rendezvous owners follow — one node per global
+// edge, then one per demand.
+struct RendezvousLayout {
+  int members = 0;
+  int edge_base = 0;    // owner of global edge e = edge_base + e
+  int demand_base = 0;  // owner of demand a = demand_base + a
+  int total = 0;
+
+  static RendezvousLayout for_problem(const Problem& problem, int members);
+
+  int edge_owner(EdgeId e) const { return edge_base + e; }
+  int demand_owner(DemandId a) const { return demand_base + a; }
+};
+
+// Conflict neighborhoods discovered by the rendezvous rounds, plus the
+// exact communication the discovery charged to the runtime.
+struct DiscoveredNeighborhoods {
+  // neighbors[v]: sorted member indexes conflicting with members[v].
+  std::vector<std::vector<int>> neighbors;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+
+  std::int64_t num_edges() const;
+  int max_degree() const;
+};
+
+// Runs the 2-round rendezvous on `rt`, which must have been sized with at
+// least RendezvousLayout::for_problem(problem, members.size()).total
+// nodes so the owner nodes exist.  `members` are distinct instances of
+// `problem`; member v is runtime node v.  On return the member-member
+// channels implied by the discovered adjacency are open on `rt` (knowing
+// a neighbor's id is knowing its address), so a conflict protocol can run
+// on the neighborhoods immediately.
+DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
+                                           std::span<const InstanceId> members,
+                                           Runtime& rt);
+
+}  // namespace treesched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dist/discovery.hpp"
 #include "dist/runtime.hpp"
 
 namespace treesched {
@@ -9,8 +10,8 @@ namespace treesched {
 // ---------------------------------------------------------------------------
 // Message-level protocol on the synchronous runtime.
 
-std::vector<int> luby_iteration(const ConflictGraph& graph, Runtime& rt,
-                                std::span<const int> nodes,
+std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
+                                Runtime& rt, std::span<const int> nodes,
                                 std::vector<char>& live,
                                 std::vector<double>& draw,
                                 std::vector<Rng>& node_rng) {
@@ -20,7 +21,7 @@ std::vector<int> luby_iteration(const ConflictGraph& graph, Runtime& rt,
     if (!live[static_cast<std::size_t>(v)]) continue;
     draw[static_cast<std::size_t>(v)] =
         node_rng[static_cast<std::size_t>(v)].uniform();
-    for (int u : graph.neighbors(v))
+    for (int u : neighbors[static_cast<std::size_t>(v)])
       if (live[static_cast<std::size_t>(u)])
         rt.post(Message{v, u, kLubyTagDraw,
                         {draw[static_cast<std::size_t>(v)]}});
@@ -44,7 +45,7 @@ std::vector<int> luby_iteration(const ConflictGraph& graph, Runtime& rt,
     }
     if (!best) continue;
     winners.push_back(v);
-    for (int u : graph.neighbors(v))
+    for (int u : neighbors[static_cast<std::size_t>(v)])
       if (live[static_cast<std::size_t>(u)])
         rt.post(Message{v, u, kLubyTagWinner, {}});
   }
@@ -62,16 +63,21 @@ std::vector<int> luby_iteration(const ConflictGraph& graph, Runtime& rt,
   return winners;
 }
 
-ProtocolResult run_luby_protocol(const ConflictGraph& graph,
+ProtocolResult run_luby_protocol(const Problem& problem,
+                                 std::span<const InstanceId> members,
                                  std::uint64_t seed) {
   ProtocolResult result;
-  const int n = graph.size();
+  const int n = static_cast<int>(members.size());
   if (n == 0) return result;
 
-  Runtime rt(n);
-  for (int v = 0; v < n; ++v)
-    for (int u : graph.neighbors(v))
-      if (u > v) rt.connect(v, u);
+  // Neighborhoods come from the edge-owner rendezvous, charged to the
+  // same runtime the Luby rounds run on — no global conflict graph.
+  const RendezvousLayout layout = RendezvousLayout::for_problem(problem, n);
+  Runtime rt(layout.total);
+  const DiscoveredNeighborhoods hood = discover_conflicts(problem, members, rt);
+  result.discovery_rounds = hood.rounds;
+  result.discovery_messages = hood.messages;
+  result.discovery_bytes = hood.bytes;
 
   // Per-node private random stream: SplitMix64 expands the seed so node
   // draws are independent of the iteration order, mirroring processors
@@ -89,8 +95,9 @@ ProtocolResult run_luby_protocol(const ConflictGraph& graph,
   // Adaptive loop: every iteration at least the globally minimal key
   // wins, so the live set strictly shrinks.
   while (std::find(live.begin(), live.end(), char{1}) != live.end()) {
-    const std::vector<int> winners =
-        luby_iteration(graph, rt, nodes, live, draw, node_rng);
+    const std::vector<int> winners = luby_iteration(
+        {hood.neighbors.data(), hood.neighbors.size()}, rt, nodes, live,
+        draw, node_rng);
     result.selected.insert(result.selected.end(), winners.begin(),
                            winners.end());
   }

@@ -2,13 +2,17 @@
 // the T_MIS = O(log n) factor of Theorem 5.3), in two forms.
 //
 // run_luby_protocol() is the *message-level* implementation: one Runtime
-// node per conflict-graph vertex, one channel per conflict edge.  Each
-// iteration costs exactly 2 synchronous rounds — round 1 exchanges the
-// random draws, round 2 notifies neighbors of the winners — and a vertex
-// joins the MIS when its (draw, id) key beats every live neighbor's.
-// Losers adjacent to a winner retire; the loop ends when every vertex has
-// decided.  Isolated vertices win in the first iteration without sending
-// anything, so an edgeless graph finishes in 2 rounds and 0 messages.
+// node per member instance.  It first learns the conflict neighborhoods
+// through the 2-round edge-owner rendezvous of dist/discovery.hpp — no
+// global conflict graph is ever built — then runs the Luby loop on the
+// discovered adjacency.  Each iteration costs exactly 2 synchronous
+// rounds — round 1 exchanges the random draws, round 2 notifies
+// neighbors of the winners — and a node joins the MIS when its
+// (draw, id) key beats every live neighbor's.  Losers adjacent to a
+// winner retire; the loop ends when every node has decided.  Isolated
+// nodes win in the first iteration without sending anything, so a
+// conflict-free member set finishes in 2 discovery rounds + 2 Luby
+// rounds with only the registration messages on the wire.
 //
 // LubyMis is the production oracle the two-phase engine consumes
 // (framework/two_phase.hpp).  It runs the same iteration structure but on
@@ -20,10 +24,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/prelude.hpp"
 #include "common/rng.hpp"
-#include "dist/conflict_graph.hpp"
 #include "dist/runtime.hpp"
 #include "framework/two_phase.hpp"
 #include "model/problem.hpp"
@@ -34,20 +38,42 @@ namespace treesched {
 inline constexpr int kLubyTagDraw = 0;    // payload: {draw value}
 inline constexpr int kLubyTagWinner = 1;  // payload: {}
 
+// Outcome of a message-level Luby run: selected member indexes plus the
+// Runtime's accounting, with the discovery share broken out (totals
+// include it).
+struct ProtocolResult {
+  std::vector<int> selected;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::int64_t discovery_rounds = 0;
+  std::int64_t discovery_messages = 0;
+  std::int64_t discovery_bytes = 0;
+};
+
 // One message-level Luby iteration (exactly 2 synchronous rounds) over
 // the live subset of `nodes`: every live node draws via its private rng,
 // exchanges the draw with its live neighbors, the strict minima of
 // (draw, id) over their live neighborhoods win and notify, and every
 // decided node — winner or notified loser — leaves `live`.  Returns the
-// iteration's winners.  `live`, `draw` and `node_rng` are indexed by
-// graph vertex.  Shared by run_luby_protocol (adaptive loop) and the
-// fixed-budget protocol scheduler so the two message-level paths cannot
-// drift apart.
-std::vector<int> luby_iteration(const ConflictGraph& graph, Runtime& rt,
-                                std::span<const int> nodes,
+// iteration's winners.  `neighbors`, `live`, `draw` and `node_rng` are
+// indexed by member index; `neighbors` is typically
+// DiscoveredNeighborhoods::neighbors.  Shared by run_luby_protocol
+// (adaptive loop) and the fixed-budget protocol scheduler so the two
+// message-level paths cannot drift apart.
+std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
+                                Runtime& rt, std::span<const int> nodes,
                                 std::vector<char>& live,
                                 std::vector<double>& draw,
                                 std::vector<Rng>& node_rng);
+
+// Luby's MIS as a real protocol on the synchronous runtime: rendezvous
+// discovery first, then 2 rounds per iteration on the discovered
+// neighborhoods.  `members` are distinct instances of `problem`;
+// selected entries are member indexes.  Deterministic by seed.
+ProtocolResult run_luby_protocol(const Problem& problem,
+                                 std::span<const InstanceId> members,
+                                 std::uint64_t seed);
 
 // Round-counting Luby oracle over the implicit conflict cliques.  One
 // instance is stateful: successive run() calls consume the same random

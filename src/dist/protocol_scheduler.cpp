@@ -4,11 +4,10 @@
 #include <cmath>
 
 #include "common/rng.hpp"
-#include "dist/conflict_graph.hpp"
+#include "dist/discovery.hpp"
 #include "dist/luby_mis.hpp"
 #include "dist/runtime.hpp"
-#include "framework/certify.hpp"
-#include "framework/dual_state.hpp"
+#include "framework/dual_shard.hpp"
 #include "framework/raise_rule.hpp"
 #include "framework/two_phase.hpp"
 
@@ -16,8 +15,9 @@ namespace treesched {
 
 namespace {
 
-// Message tags beyond the Luby rounds (kLubyTagDraw/kLubyTagWinner).
-constexpr int kTagRaise = 2;  // dual propagation: {raise amount}
+// Message tags beyond the Luby rounds (kLubyTagDraw/kLubyTagWinner) and
+// the rendezvous rounds (kTagRegister/kTagBucket).
+constexpr int kTagRaise = 2;  // payload: encode_raise() wire format
 constexpr int kTagKeep = 3;   // phase 2: {}
 
 }  // namespace
@@ -33,16 +33,21 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
   const int n = problem.num_instances();
   ProtocolRunResult result;
 
-  // Channel topology: one node per instance, one channel per conflict.
-  // Vertex v of the graph is instance v (the graph is built over the full
-  // instance range, so indexes coincide).
+  // One runtime node per instance plus the rendezvous owner nodes.  The
+  // conflict neighborhoods are *discovered*, not built: the 2-round
+  // edge-owner rendezvous replaces the global ConflictGraph and is
+  // charged to the same counters as every other protocol round.
   std::vector<InstanceId> all(static_cast<std::size_t>(n));
   for (InstanceId i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
-  const ConflictGraph graph(problem, {all.data(), all.size()});
-  Runtime rt(std::max(n, 1));
-  for (int v = 0; v < n; ++v)
-    for (int u : graph.neighbors(v))
-      if (u > v) rt.connect(v, u);
+  const RendezvousLayout layout = RendezvousLayout::for_problem(problem, n);
+  Runtime rt(std::max(layout.total, 1));
+  const DiscoveredNeighborhoods hood =
+      discover_conflicts(problem, {all.data(), all.size()}, rt);
+  result.discovery_rounds = hood.rounds;
+  result.discovery_messages = hood.messages;
+  result.discovery_bytes = hood.bytes;
+  const std::span<const std::vector<int>> neighbors{hood.neighbors.data(),
+                                                    hood.neighbors.size()};
 
   // The fixed schedule, derived from globally known quantities only.
   result.epochs = plan.num_groups;
@@ -64,22 +69,42 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
   node_rng.reserve(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) node_rng.emplace_back(expand.next());
 
-  DualState dual(problem);
+  // Per-processor dual shards: processor i stores alpha of its demand and
+  // beta of its own path edges, nothing else.
   const RaiseRule rule(RaiseRuleKind::kUnit, problem);
+  std::vector<DualShard> shard;
+  shard.reserve(static_cast<std::size_t>(n));
+  for (InstanceId i = 0; i < n; ++i) {
+    const DemandInstance& inst = problem.instance(i);
+    shard.emplace_back(inst.demand,
+                       std::span<const EdgeId>{inst.edges.data(),
+                                               inst.edges.size()});
+  }
 
   const auto unsatisfied = [&](InstanceId i, double target) {
+    // A purely local test: the shard holds every variable of i's
+    // constraint, kept current by the applied raise propagations.
     const DemandInstance& inst = problem.instance(i);
-    return dual.lhs(inst, rule.beta_coeff(inst)) <
+    return shard[static_cast<std::size_t>(i)].lhs(rule.beta_coeff(inst)) <
            target * inst.profit - kEps * inst.profit;
   };
-  const auto drain_all = [&] {
-    for (int v = 0; v < n; ++v) rt.drain(v);
+  // Drains every member inbox, applying raise propagations to the local
+  // shards (the one message type that may be in flight at step ends).
+  const auto drain_and_apply = [&] {
+    for (int v = 0; v < n; ++v) {
+      for (const Message& m : rt.drain(v)) {
+        TS_REQUIRE(m.tag == kTagRaise);
+        shard[static_cast<std::size_t>(v)].apply_raise(
+            {m.data.data(), m.data.size()});
+      }
+    }
   };
 
   // ---- Phase 1: raise, one fixed-length tuple at a time -------------------
   std::vector<std::vector<InstanceId>> stack;
   std::vector<char> live(static_cast<std::size_t>(std::max(n, 1)), 0);
   std::vector<double> draw(static_cast<std::size_t>(std::max(n, 1)), 0.0);
+  std::vector<double> increments;
 
   for (int g = 0; g < plan.num_groups; ++g) {
     const auto& members = plan.members[static_cast<std::size_t>(g)];
@@ -87,7 +112,7 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
       const double target = 1.0 - std::pow(xi, j);
       for (int s = 0; s < result.steps_per_stage; ++s) {
         // Participants: group members still below the stage target (a
-        // local test — every processor knows its own dual LHS).
+        // local test against the processor's own shard).
         std::vector<int> participants;
         for (InstanceId i : members)
           if (unsatisfied(i, target)) participants.push_back(i);
@@ -97,8 +122,8 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
         // Decided processors sit out the remaining iterations in silence.
         std::vector<InstanceId> winners;
         for (int iter = 0; iter < result.luby_budget; ++iter) {
-          const std::vector<int> won =
-              luby_iteration(graph, rt, participants, live, draw, node_rng);
+          const std::vector<int> won = luby_iteration(
+              neighbors, rt, participants, live, draw, node_rng);
           winners.insert(winners.end(), won.begin(), won.end());
         }
         for (int v : participants) {
@@ -108,23 +133,32 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
           }
         }
 
-        // Dual-propagation round: every MIS member raises tightly and
-        // ships the raise to all conflicting neighbors.
+        // Dual-propagation round: every MIS member raises its own shard
+        // tightly and ships the increments to all conflicting neighbors,
+        // which apply them on arrival.
         std::sort(winners.begin(), winners.end());
         for (InstanceId i : winners) {
           const DemandInstance& inst = problem.instance(i);
           const auto& critical = plan.critical[static_cast<std::size_t>(i)];
+          DualShard& mine = shard[static_cast<std::size_t>(i)];
           const double slack =
-              inst.profit - dual.lhs(inst, rule.beta_coeff(inst));
+              inst.profit - mine.lhs(rule.beta_coeff(inst));
           const double amount = rule.delta(inst, critical, slack);
-          dual.raise_alpha(inst.demand, amount);
-          for (EdgeId e : critical)
-            dual.raise_beta(e, rule.beta_increment(inst, critical, amount, e));
-          for (int u : graph.neighbors(i))
-            rt.post(Message{i, u, kTagRaise, {amount}});
+          mine.raise_alpha(amount);
+          increments.resize(critical.size());
+          for (std::size_t c = 0; c < critical.size(); ++c) {
+            increments[c] =
+                rule.beta_increment(inst, critical, amount, critical[c]);
+            mine.raise_beta(critical[c], increments[c]);
+          }
+          const std::vector<double> payload = encode_raise(
+              inst.demand, amount, critical,
+              {increments.data(), increments.size()});
+          for (int u : neighbors[static_cast<std::size_t>(i)])
+            rt.post(Message{i, u, kTagRaise, payload});
         }
         rt.step();
-        drain_all();
+        drain_and_apply();
         stack.push_back(std::move(winners));
       }
       // Lemma 5.1: the fixed step budget must have satisfied the stage.
@@ -144,17 +178,31 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
       if (!kept[static_cast<std::size_t>(i)]) continue;
       if (announced[static_cast<std::size_t>(i)]) continue;
       announced[static_cast<std::size_t>(i)] = 1;
-      for (int u : graph.neighbors(i)) rt.post(Message{i, u, kTagKeep, {}});
+      for (int u : neighbors[static_cast<std::size_t>(i)])
+        rt.post(Message{i, u, kTagKeep, {}});
     }
     rt.step();
-    drain_all();
+    for (int v = 0; v < n; ++v) rt.drain(v);
   }
 
   result.rounds = rt.round();
   result.messages = rt.messages_sent();
   result.bytes = rt.bytes_sent();
-  const std::vector<char> active(static_cast<std::size_t>(n), 1);
-  result.lambda_observed = observed_lambda(problem, dual, rule, active);
+
+  // Certification from the shards alone: every processor reports its own
+  // satisfaction level; lambda is the minimum.
+  result.final_lhs.resize(static_cast<std::size_t>(n));
+  double lambda = 1.0;
+  for (InstanceId i = 0; i < n; ++i) {
+    const DemandInstance& inst = problem.instance(i);
+    const double lhs =
+        shard[static_cast<std::size_t>(i)].lhs(rule.beta_coeff(inst));
+    result.final_lhs[static_cast<std::size_t>(i)] = lhs;
+    const double level = lhs / inst.profit;
+    lambda = i == 0 ? level : std::min(lambda, level);
+  }
+  result.lambda_observed = n > 0 ? lambda : 1.0;
+  if (options.keep_stack) result.raise_stack = std::move(stack);
   return result;
 }
 

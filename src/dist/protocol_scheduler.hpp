@@ -8,12 +8,21 @@
 //   stages_per_epoch = ceil(log_xi eps)            (Section 5),
 //   steps_per_stage  = O(log(pmax/pmin))           (Lemma 5.1/Claim 5.2),
 //   luby_budget      = O(log n) Luby iterations    (w.h.p. termination).
+//
+// Nothing in the run is global anymore:
+//  - neighborhoods are learned by the 2-round edge-owner rendezvous of
+//    dist/discovery.hpp (no ConflictGraph is materialized);
+//  - the dual state is sharded per processor (framework/dual_shard.hpp):
+//    a raise is applied to the winner's own shard and propagated to its
+//    conflicting neighbors via kTagRaise messages, which the receivers
+//    *apply* — every satisfaction test reads only the local shard.
+//
 // Every (epoch, stage, step) tuple spends exactly 2*luby_budget rounds of
 // Luby protocol plus 1 dual-propagation round, whether or not any work
 // remains — idle processors execute the rounds in silence.  Phase 2
 // replays the tuples in reverse, 1 round each (keep/drop notification).
 // Hence the exact accounting identity the tests assert:
-//   rounds = tuples * (2*luby_budget + 1) + tuples.
+//   rounds = discovery_rounds + tuples * (2*luby_budget + 1) + tuples.
 //
 // mis_ok reports whether every Luby computation decided all of its
 // participants within the fixed budget; schedule_ok whether every stage's
@@ -22,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "decomp/layered.hpp"
 #include "model/problem.hpp"
@@ -37,6 +47,9 @@ struct ProtocolOptions {
   int lockstep_slack = 2;
   // Luby iterations per MIS computation; 0 derives 2*ceil(log2 n) + 2.
   int luby_budget = 0;
+  // Retain the raise stack in ProtocolRunResult (test oracle for the
+  // central-replay parity check).
+  bool keep_stack = false;
 };
 
 struct ProtocolRunResult {
@@ -46,14 +59,23 @@ struct ProtocolRunResult {
   int stages_per_epoch = 0;
   int steps_per_stage = 0;
   int luby_budget = 0;
-  // Runtime accounting.
+  // Runtime accounting (totals include the discovery share, which is
+  // also broken out).
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t bytes = 0;
+  std::int64_t discovery_rounds = 0;
+  std::int64_t discovery_messages = 0;
+  std::int64_t discovery_bytes = 0;
   // Budget sufficiency (w.h.p. guarantees, observed).
   bool mis_ok = true;
   bool schedule_ok = true;
   double lambda_observed = 0.0;
+  // Per-instance final dual LHS as the shards see it (test oracle: must
+  // match a central DualState replay of the raise stack).
+  std::vector<double> final_lhs;
+  // One entry per phase-1 step, in raise order; only when keep_stack.
+  std::vector<std::vector<InstanceId>> raise_stack;
 };
 
 // Runs the message-level protocol on `problem` under `plan` (tree or line

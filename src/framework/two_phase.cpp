@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "framework/certify.hpp"
 
@@ -54,14 +55,20 @@ void SolveStats::merge(const SolveStats& other) {
   message_bytes += other.message_bytes;
   dual_objective += other.dual_objective;
   dual_upper_bound += other.dual_upper_bound;
-  lambda_observed = (lambda_observed == 0.0)
-                        ? other.lambda_observed
-                        : std::min(lambda_observed, other.lambda_observed);
+  // 0.0 means "no run contributed a lambda yet" — on either side.  An
+  // unset side must not clobber a real value through std::min (a 0.0
+  // lambda would then poison every bound derived from the merged stats).
+  if (lambda_observed == 0.0) {
+    lambda_observed = other.lambda_observed;
+  } else if (other.lambda_observed != 0.0) {
+    lambda_observed = std::min(lambda_observed, other.lambda_observed);
+  }
   delta = std::max(delta, other.delta);
   xi = std::max(xi, other.xi);
   stages_per_epoch = std::max(stages_per_epoch, other.stages_per_epoch);
   interference_ok = interference_ok && other.interference_ok;
   lockstep_ok = lockstep_ok && other.lockstep_ok;
+  mis_ok = mis_ok && other.mis_ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -252,14 +259,24 @@ SolveResult TwoPhaseEngine::run() {
         const MisResult mis = oracle_->run(
             std::span<const InstanceId>(unsatisfied.data(),
                                         unsatisfied.size()));
-        TS_REQUIRE(!mis.selected.empty());
-        for (InstanceId i : mis.selected)
-          raise(i, dual, stats, raised_order);
-        stack.push_back(mis.selected);
         ++stats.steps;
         ++steps_this_stage;
         stats.mis_rounds += mis.rounds;
         stats.comm_rounds += mis.rounds + 1;  // +1: dual propagation
+        if (mis.selected.empty()) {
+          // A budgeted randomized oracle can fail to decide anyone.
+          // Mirror the protocol: the step's rounds are spent in silence.
+          // In lockstep mode the fixed budget bounds the retries; in
+          // adaptive mode no progress is possible, so the stage ends
+          // short (flagged through lockstep_ok below).
+          stats.mis_ok = false;
+          if (config_.lockstep) continue;
+          stats.lockstep_ok = false;
+          break;
+        }
+        for (InstanceId i : mis.selected)
+          raise(i, dual, stats, raised_order);
+        stack.push_back(mis.selected);
         TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
       }
       stats.max_steps_in_stage =
@@ -272,8 +289,12 @@ SolveResult TwoPhaseEngine::run() {
   stats.dual_objective = dual.objective();
   stats.lambda_observed =
       observed_lambda(*problem_, dual, rule, active_mask_);
+  // lambda == 0 (possible only when an oracle failure left an instance
+  // completely unsatisfied) admits no finite scaled-dual certificate.
   stats.dual_upper_bound =
-      stats.dual_objective / std::min(1.0, stats.lambda_observed);
+      stats.lambda_observed > 0.0
+          ? stats.dual_objective / std::min(1.0, stats.lambda_observed)
+          : std::numeric_limits<double>::infinity();
 
   result.solution = prune_stack(*problem_, stack);
   stats.profit = result.solution.profit(*problem_);
@@ -282,9 +303,23 @@ SolveResult TwoPhaseEngine::run() {
 }
 
 int lockstep_step_budget(const Problem& problem, int slack) {
-  return 1 + slack +
-         static_cast<int>(std::ceil(
-             std::log2(problem.max_profit() / problem.min_profit())));
+  // Claim 5.2 budget with guards: a zero/denormal min_profit or an
+  // overflowing ratio must yield a finite budget, never UB from casting
+  // inf/NaN to int.  The log term is capped at 62 (a profit range beyond
+  // 2^62 is outside any double's meaningful precision anyway) and the
+  // whole budget clamped to >= 1 so degenerate slack cannot disable the
+  // schedule.
+  const double pmax = problem.max_profit();
+  const double pmin = problem.min_profit();
+  double log_range = 0.0;
+  if (pmin > 0.0 && pmax > pmin) {
+    const double ratio = pmax / pmin;
+    if (std::isfinite(ratio))
+      log_range = std::min(std::ceil(std::log2(ratio)), 62.0);
+    else
+      log_range = 62.0;
+  }
+  return std::max(1, 1 + slack + static_cast<int>(log_range));
 }
 
 // ---------------------------------------------------------------------------

@@ -119,12 +119,17 @@ struct SolveStats {
   int stages_per_epoch = 0;
   double profit = 0.0;
   bool interference_ok = true;
-  // Lockstep mode only: true iff the fixed per-stage step budget left no
-  // unsatisfied instance behind (Lemma 5.1's prediction).
+  // True iff no stage ended with unsatisfied instances left behind —
+  // Lemma 5.1's prediction in lockstep mode; in adaptive mode a stage
+  // can only end short when the MIS oracle fails (see mis_ok).
   bool lockstep_ok = true;
+  // True iff every MIS computation returned a non-empty set for a
+  // non-empty candidate pool.  A budgeted randomized oracle may fail
+  // w.h.p.-rarely; the engine records an idle step instead of aborting.
+  bool mis_ok = true;
 
   // Merge for combined (wide + narrow) runs: counts add, bounds add,
-  // lambda takes the min.
+  // lambda takes the min (0.0 = unset on either side), flags AND.
   void merge(const SolveStats& other);
 };
 

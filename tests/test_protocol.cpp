@@ -55,12 +55,16 @@ TEST(Protocol, RoundAccountingIdentity) {
   ProtocolOptions options;
   options.epsilon = 0.2;
   const ProtocolRunResult run = run_distributed_protocol(p, plan, options);
-  // Phase 1: every (epoch, stage, step) tuple spends 2 rounds per Luby
-  // iteration plus 1 raise round; phase 2 replays each tuple in 1 round.
+  // Discovery: 2 rendezvous rounds.  Phase 1: every (epoch, stage, step)
+  // tuple spends 2 rounds per Luby iteration plus 1 raise round; phase 2
+  // replays each tuple in 1 round.
   const std::int64_t tuples = static_cast<std::int64_t>(run.epochs) *
                               run.stages_per_epoch * run.steps_per_stage;
-  EXPECT_EQ(run.rounds, tuples * (2 * run.luby_budget + 1) + tuples);
-  EXPECT_GT(run.messages, 0);
+  EXPECT_EQ(run.discovery_rounds, 2);
+  EXPECT_EQ(run.rounds,
+            run.discovery_rounds + tuples * (2 * run.luby_budget + 1) + tuples);
+  EXPECT_GT(run.discovery_messages, 0);
+  EXPECT_GT(run.messages, run.discovery_messages);
   EXPECT_GT(run.bytes, 0);
 }
 
@@ -110,7 +114,9 @@ TEST(Protocol, MatchesEngineQuality) {
 
 TEST(Protocol, IsolatedDemandsAllScheduled) {
   // No conflicts at all: every demand must be scheduled despite the full
-  // fixed-schedule machinery running with zero messages of substance.
+  // fixed-schedule machinery running.  The only traffic is the discovery
+  // registrations — with empty neighborhoods, phases 1 and 2 run in
+  // silence.
   std::vector<TreeNetwork> networks;
   networks.push_back(TreeNetwork::line(10));
   Problem p(10, std::move(networks));
@@ -121,7 +127,8 @@ TEST(Protocol, IsolatedDemandsAllScheduled) {
   const LayeredPlan plan = build_line_layered_plan(p);
   const ProtocolRunResult run = run_distributed_protocol(p, plan, {});
   EXPECT_EQ(run.solution.selected.size(), 3u);
-  EXPECT_EQ(run.messages, 0);  // no conflict neighbors, no traffic
+  EXPECT_GT(run.discovery_messages, 0);
+  EXPECT_EQ(run.messages, run.discovery_messages);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dist/conflict_graph.hpp"
+#include "dist/luby_mis.hpp"
 #include "test_util.hpp"
 
 namespace treesched {
@@ -75,20 +76,27 @@ TEST(LubyProtocol, MessageLevelRunProducesValidMis) {
     std::vector<InstanceId> all(static_cast<std::size_t>(p.num_instances()));
     for (InstanceId i = 0; i < p.num_instances(); ++i)
       all[static_cast<std::size_t>(i)] = i;
+    const ProtocolResult result =
+        run_luby_protocol(p, {all.data(), all.size()}, seed);
+    // The explicit graph is only the validity oracle; the protocol ran
+    // on rendezvous-discovered neighborhoods.
     const ConflictGraph graph(p, {all.data(), all.size()});
-    const ProtocolResult result = run_luby_protocol(graph, seed);
     EXPECT_TRUE(graph.is_maximal_independent_set(result.selected));
-    // 2 synchronous rounds per iteration, at least one iteration.
-    EXPECT_GE(result.rounds, 2);
-    EXPECT_EQ(result.rounds % 2, 0);
-    EXPECT_GT(result.messages, 0);
+    // 2 discovery rounds + 2 synchronous rounds per Luby iteration.
+    EXPECT_EQ(result.discovery_rounds, 2);
+    EXPECT_GE(result.rounds, result.discovery_rounds + 2);
+    EXPECT_EQ((result.rounds - result.discovery_rounds) % 2, 0);
+    EXPECT_GT(result.discovery_messages, 0);
+    EXPECT_GT(result.messages, result.discovery_messages);
     EXPECT_GT(result.bytes, 0);
   }
 }
 
 TEST(LubyProtocol, IsolatedVerticesSelectImmediately) {
   // A problem where no instances conflict: everyone joins the MIS in one
-  // iteration with zero messages.
+  // iteration.  The only traffic is the discovery registrations (learning
+  // that the neighborhood is empty is itself a protocol act); the Luby
+  // rounds stay silent.
   std::vector<TreeNetwork> networks;
   networks.push_back(TreeNetwork::line(7));
   Problem p(7, std::move(networks));
@@ -99,10 +107,15 @@ TEST(LubyProtocol, IsolatedVerticesSelectImmediately) {
   std::vector<InstanceId> all{0, 1, 2};
   const ConflictGraph graph(p, {all.data(), all.size()});
   EXPECT_EQ(graph.num_edges(), 0);
-  const ProtocolResult result = run_luby_protocol(graph, 1);
+  const ProtocolResult result =
+      run_luby_protocol(p, {all.data(), all.size()}, 1);
   EXPECT_EQ(result.selected.size(), 3u);
-  EXPECT_EQ(result.rounds, 2);
-  EXPECT_EQ(result.messages, 0);
+  EXPECT_EQ(result.rounds, 4);  // 2 discovery + 2 Luby
+  EXPECT_EQ(result.discovery_rounds, 2);
+  // Each demand registers with its 2 path-edge owners and its demand
+  // owner; singleton buckets draw no replies and Luby sends nothing.
+  EXPECT_EQ(result.messages, result.discovery_messages);
+  EXPECT_EQ(result.discovery_messages, 9);
 }
 
 }  // namespace

@@ -161,6 +161,76 @@ TEST(TwoPhase, DualBoundDominatesOwnProfit) {
   }
 }
 
+TEST(TwoPhase, StatsMergeIgnoresUnsetLambda) {
+  // Regression: an unset (0.0) lambda on *either* side must not clobber
+  // a real value through std::min — a merged lambda of 0.0 poisons every
+  // dual_upper_bound derived from it.
+  SolveStats real, unset;
+  real.lambda_observed = 0.9;
+  real.merge(unset);
+  EXPECT_DOUBLE_EQ(real.lambda_observed, 0.9);
+
+  SolveStats fresh;
+  fresh.merge(real);
+  EXPECT_DOUBLE_EQ(fresh.lambda_observed, 0.9);
+
+  SolveStats both_unset;
+  both_unset.merge(SolveStats{});
+  EXPECT_DOUBLE_EQ(both_unset.lambda_observed, 0.0);
+}
+
+TEST(TwoPhase, LockstepBudgetSurvivesDegenerateProfits) {
+  // Equal profits: the log term vanishes, budget = 1 + slack.
+  std::vector<TreeNetwork> networks;
+  networks.push_back(TreeNetwork::line(6));
+  Problem equal(6, std::move(networks));
+  equal.add_demand(0, 2, 5.0);
+  equal.add_demand(3, 5, 5.0);
+  equal.finalize();
+  EXPECT_EQ(lockstep_step_budget(equal, 2), 3);
+  // Negative slack must clamp to a usable budget, not zero or less.
+  EXPECT_EQ(lockstep_step_budget(equal, -10), 1);
+
+  // An astronomically spread (overflowing) profit ratio must yield a
+  // finite budget — casting inf/NaN to int is UB.
+  std::vector<TreeNetwork> networks2;
+  networks2.push_back(TreeNetwork::line(6));
+  Problem spread(6, std::move(networks2));
+  spread.add_demand(0, 2, 1e-300);
+  spread.add_demand(3, 5, 1e300);
+  spread.finalize();
+  const int budget = lockstep_step_budget(spread, 2);
+  EXPECT_GE(budget, 1);
+  EXPECT_LE(budget, 1 + 2 + 62);
+}
+
+// An oracle that always comes back empty-handed, as a budget-limited
+// randomized MIS legitimately can (with vanishing probability).
+class FailingMis : public MisOracle {
+ public:
+  MisResult run(std::span<const InstanceId>) override {
+    MisResult result;
+    result.rounds = 2;
+    return result;
+  }
+};
+
+TEST(TwoPhase, EmptyMisResultDoesNotAbort) {
+  const Problem p = small_tree_problem(21, 20, 2, 10);
+  const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+  FailingMis oracle;
+  for (const bool lockstep : {false, true}) {
+    SolverConfig config;
+    config.lockstep = lockstep;
+    const SolveResult run = solve_with_plan(p, plan, config, &oracle);
+    EXPECT_TRUE(run.solution.selected.empty());
+    EXPECT_FALSE(run.stats.mis_ok);
+    EXPECT_FALSE(run.stats.lockstep_ok);
+    EXPECT_EQ(run.stats.raises, 0);
+    EXPECT_GT(run.stats.steps, 0);  // idle steps are still counted
+  }
+}
+
 TEST(TwoPhase, StatsMergeTakesWorstLambdaAndSums) {
   SolveStats a, b;
   a.steps = 3;
