@@ -24,7 +24,7 @@ int main() {
                     "comm-rounds(mean)", "rounds/log2(n)"});
   std::vector<double> xs, ys;
   std::vector<JsonRecord> runs;
-  for (int n : {64, 128, 256, 512, 1024, 2048}) {
+  for (int n : {64, 128, 256, 512, 1024, 2048, 4096}) {
     RunningStats epochs, steps, mis, rounds;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       TreeScenarioSpec spec;
@@ -70,7 +70,7 @@ int main() {
   Table lock("F2b  adaptive vs lockstep schedule (eps = 0.2, 3 seeds)");
   lock.set_header({"n", "adaptive rounds", "lockstep rounds", "overhead",
                    "lockstep lambda ok"});
-  for (int n : {128, 512, 2048}) {
+  for (int n : {128, 1024, 4096}) {
     RunningStats adaptive, lockstep;
     bool ok = true;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {

@@ -16,10 +16,10 @@ namespace {
 
 Problem make(std::uint64_t seed, bool large) {
   LineScenarioSpec spec;
-  spec.line.num_slots = large ? 200 : 24;
+  spec.line.num_slots = large ? 512 : 24;
   spec.line.num_resources = large ? 3 : 2;
-  spec.line.num_demands = large ? 180 : 8;
-  spec.line.max_proc_time = large ? 24 : 8;
+  spec.line.num_demands = large ? 450 : 8;
+  spec.line.max_proc_time = large ? 40 : 8;
   spec.line.window_slack = 2.0;
   spec.line.heights = HeightLaw::kUnit;
   spec.line.profit_max = 100.0;
@@ -109,7 +109,7 @@ int main() {
                     {"ps_rounds", static_cast<double>(b.stats.comm_rounds)}});
   }
   Table large(
-      "T1b  large workloads (200 slots, 180 jobs, certified bound, 5 seeds)");
+      "T1b  large workloads (512 slots, 450 jobs, certified bound, 5 seeds)");
   large.set_header(Aggregate::header());
   lours.row(large, "multi-stage distributed (ours)", 4.0 / (1.0 - eps));
   lps.row(large, "PS single-stage (baseline)", 4.0 * (5.0 + eps));

@@ -14,10 +14,10 @@ namespace {
 
 Problem make(std::uint64_t seed, bool large) {
   LineScenarioSpec spec;
-  spec.line.num_slots = large ? 200 : 24;
+  spec.line.num_slots = large ? 512 : 24;
   spec.line.num_resources = large ? 3 : 2;
-  spec.line.num_demands = large ? 180 : 8;
-  spec.line.max_proc_time = large ? 20 : 8;
+  spec.line.num_demands = large ? 450 : 8;
+  spec.line.max_proc_time = large ? 36 : 8;
   spec.line.window_slack = 1.8;
   spec.line.heights = HeightLaw::kBimodal;
   spec.line.height_min = 0.15;

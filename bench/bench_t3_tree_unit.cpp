@@ -15,9 +15,9 @@ namespace {
 Problem make(std::uint64_t seed, TreeShape shape, bool large) {
   TreeScenarioSpec spec;
   spec.shape = shape;
-  spec.num_vertices = large ? 512 : 20;
+  spec.num_vertices = large ? 2048 : 20;
   spec.num_networks = 2;
-  spec.demands.num_demands = large ? 300 : 9;
+  spec.demands.num_demands = large ? 1400 : 9;
   spec.demands.profit_max = 100.0;
   spec.seed = seed;
   return make_tree_problem(spec);
@@ -94,7 +94,7 @@ int main() {
   small.print(std::cout);
 
   // Large workloads: certified bound + polylog round budget check.
-  Table large("T3b  large workloads (n=512, m=300, certified, 4 seeds)");
+  Table large("T3b  large workloads (n=2048, m=1400, certified, 4 seeds)");
   large.set_header({"seed", "profit", "cert-gap", "epochs", "steps",
                     "comm-rounds", "epoch-budget 2logn+1"});
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {

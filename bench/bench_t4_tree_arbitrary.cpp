@@ -17,9 +17,9 @@ namespace {
 
 Problem make(std::uint64_t seed, bool large, double hmin) {
   TreeScenarioSpec spec;
-  spec.num_vertices = large ? 400 : 20;
+  spec.num_vertices = large ? 1600 : 20;
   spec.num_networks = 2;
-  spec.demands.num_demands = large ? 260 : 9;
+  spec.demands.num_demands = large ? 1000 : 9;
   spec.demands.heights = HeightLaw::kBimodal;
   spec.demands.height_min = hmin;
   spec.demands.profit_max = 100.0;
@@ -78,7 +78,7 @@ int main() {
               "average.\n\n", 100.0 * wide_share.mean());
 
   // h_min sensitivity on larger workloads: rounds scale ~ 1/h_min.
-  Table hmin_table("T4b  h_min sensitivity (n=400, m=260, certified)");
+  Table hmin_table("T4b  h_min sensitivity (n=1600, m=1000, certified)");
   hmin_table.set_header({"h_min", "stages/epoch", "steps", "comm-rounds",
                          "cert-gap"});
   for (double hmin : {0.4, 0.2, 0.1, 0.05}) {

@@ -15,9 +15,9 @@ namespace {
 Problem make(std::uint64_t seed, double spread, HeightLaw heights, bool large,
              CapacityLaw law) {
   TreeScenarioSpec spec;
-  spec.num_vertices = large ? 300 : 20;
+  spec.num_vertices = large ? 1200 : 20;
   spec.num_networks = 2;
-  spec.demands.num_demands = large ? 240 : 9;
+  spec.demands.num_demands = large ? 900 : 9;
   spec.demands.heights = heights;
   spec.demands.height_min = 0.15;
   spec.demands.profit_max = 100.0;
@@ -99,7 +99,7 @@ int main() {
   t5a.print(std::cout);
 
   // T5b: large unit-height workloads — certificate quality vs spread.
-  Table t5b("T5b  unit heights, n=300 m=240, certificate gap vs spread");
+  Table t5b("T5b  unit heights, n=1200 m=900, certificate gap vs spread");
   t5b.set_header({"spread", "rho(path)", "aware cert-gap", "naive cert-gap",
                   "aware profit", "naive profit"});
   for (double spread : {1.0, 4.0, 16.0}) {

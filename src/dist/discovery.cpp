@@ -4,6 +4,24 @@
 
 namespace treesched {
 
+std::vector<double> interval_digest(std::span<const int> sorted_members) {
+  std::vector<double> digest;
+  std::size_t k = 0;
+  while (k < sorted_members.size()) {
+    const int lo = sorted_members[k];
+    int hi = lo;
+    while (k + 1 < sorted_members.size() &&
+           sorted_members[k + 1] == hi + 1) {
+      ++k;
+      ++hi;
+    }
+    digest.push_back(static_cast<double>(lo));
+    digest.push_back(static_cast<double>(hi));
+    ++k;
+  }
+  return digest;
+}
+
 RendezvousLayout RendezvousLayout::for_problem(const Problem& problem,
                                                int members) {
   TS_REQUIRE(problem.finalized());
@@ -65,33 +83,44 @@ DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
   }
   rt.step();
 
-  // Round 2: every owner replies to each registrant with the rest of its
-  // bucket.  A singleton bucket needs no reply: in the fixed 2-round
-  // schedule, silence encodes "no conflicts on this resource".
+  // Round 2: every owner replies to each registrant with the interval
+  // digest of its whole bucket — sorted member indexes compressed to
+  // maximal [lo, hi] runs, the registrant included (it drops itself on
+  // expansion).  One digest per bucket, identical for every registrant,
+  // sum |B| * 2 * runs(B) doubles on the wire instead of the quadratic
+  // sum |B| * (|B| - 1) raw lists.  A singleton bucket needs no reply:
+  // in the fixed 2-round schedule, silence encodes "no conflicts on this
+  // resource".
   std::sort(owners.begin(), owners.end());
   owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  std::vector<int> bucket;
   for (int owner : owners) {
     const std::vector<Message> inbox = rt.drain(owner);
     if (inbox.size() < 2) continue;
-    for (const Message& registrant : inbox) {
-      std::vector<double> payload;
-      payload.reserve(inbox.size() - 1);
-      for (const Message& other : inbox)
-        if (other.from != registrant.from)
-          payload.push_back(static_cast<double>(other.from));
-      rt.post(Message{owner, registrant.from, kTagBucket,
-                      std::move(payload)});
-    }
+    bucket.clear();
+    for (const Message& registrant : inbox) bucket.push_back(registrant.from);
+    std::sort(bucket.begin(), bucket.end());
+    const std::vector<double> digest =
+        interval_digest({bucket.data(), bucket.size()});
+    for (const Message& registrant : inbox)
+      rt.post(Message{owner, registrant.from, kTagBucket, digest});
   }
   rt.step();
 
-  // Members union the replies into their conflict neighborhoods and open
-  // the member-member channels the adjacency implies.
+  // Members expand the digests, drop themselves, and union the replies
+  // into their conflict neighborhoods, opening the member-member channels
+  // the adjacency implies.
   for (int v = 0; v < k; ++v) {
     std::vector<int>& adj = result.neighbors[static_cast<std::size_t>(v)];
     for (const Message& m : rt.drain(v)) {
       TS_REQUIRE(m.tag == kTagBucket);
-      for (double id : m.data) adj.push_back(static_cast<int>(id));
+      TS_REQUIRE(m.data.size() % 2 == 0);
+      for (std::size_t r = 0; r + 1 < m.data.size(); r += 2) {
+        const int lo = static_cast<int>(m.data[r]);
+        const int hi = static_cast<int>(m.data[r + 1]);
+        for (int u = lo; u <= hi; ++u)
+          if (u != v) adj.push_back(u);
+      }
     }
     std::sort(adj.begin(), adj.end());
     adj.erase(std::unique(adj.begin(), adj.end()), adj.end());

@@ -114,6 +114,7 @@ ProtocolResult run_luby_protocol(const Problem& problem,
 
 LubyMis::LubyMis(const Problem& problem, std::uint64_t seed)
     : problem_(&problem),
+      seed_(seed),
       rng_(SplitMix64(seed).next()),
       edge_min_(static_cast<std::size_t>(problem.num_global_edges())),
       demand_min_(static_cast<std::size_t>(problem.num_demands())),
@@ -121,6 +122,15 @@ LubyMis::LubyMis(const Problem& problem, std::uint64_t seed)
       demand_stamp_(static_cast<std::size_t>(problem.num_demands()), 0),
       edge_kill_(static_cast<std::size_t>(problem.num_global_edges()), 0),
       demand_kill_(static_cast<std::size_t>(problem.num_demands()), 0) {}
+
+std::unique_ptr<MisOracle> LubyMis::component_clone(std::uint64_t key) {
+  // SplitMix64 over (seed, key) gives each component an independent
+  // stream; the same (seed, epoch, component) always yields the same
+  // stream, so parallel runs are reproducible for any thread count.
+  SplitMix64 mix(seed_);
+  const std::uint64_t derived = mix.next() ^ SplitMix64(key).next();
+  return std::make_unique<LubyMis>(*problem_, derived);
+}
 
 MisResult LubyMis::run(std::span<const InstanceId> candidates) {
   MisResult result;

@@ -84,6 +84,15 @@ class LubyMis : public MisOracle {
 
   MisResult run(std::span<const InstanceId> candidates) override;
 
+  // Component-local oracle for parallel epoch execution: derives an
+  // independent stream from (seed, key), so the run is deterministic for
+  // any thread count.  Note this is a *different* randomness schedule
+  // than the serial single-stream run — threads >= 2 with LubyMis is
+  // reproducible but not bit-identical to threads == 1 (GreedyMis is;
+  // see MisOracle::component_clone).
+  bool supports_component_clone() const override { return true; }
+  std::unique_ptr<MisOracle> component_clone(std::uint64_t key) override;
+
  private:
   struct Key {
     double value = 0.0;
@@ -97,6 +106,7 @@ class LubyMis : public MisOracle {
   };
 
   const Problem* problem_;
+  std::uint64_t seed_ = 0;  // retained for component_clone derivation
   Rng rng_;
   // Per-edge / per-demand minimum key over the live candidates, with
   // iteration stamps so no clearing is needed between iterations.

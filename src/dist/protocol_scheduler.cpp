@@ -143,14 +143,13 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
           DualShard& mine = shard[static_cast<std::size_t>(i)];
           const double slack =
               inst.profit - mine.lhs(rule.beta_coeff(inst));
-          const double amount = rule.delta(inst, critical, slack);
+          // tight_raise is the same call the modeled engine makes — one
+          // raise arithmetic for every implementation.
+          const double amount =
+              rule.tight_raise(inst, critical, slack, increments);
           mine.raise_alpha(amount);
-          increments.resize(critical.size());
-          for (std::size_t c = 0; c < critical.size(); ++c) {
-            increments[c] =
-                rule.beta_increment(inst, critical, amount, critical[c]);
+          for (std::size_t c = 0; c < critical.size(); ++c)
             mine.raise_beta(critical[c], increments[c]);
-          }
           const std::vector<double> payload = encode_raise(
               inst.demand, amount, critical,
               {increments.data(), increments.size()});

@@ -30,6 +30,23 @@ double RaiseRule::beta_increment(const DemandInstance& inst,
   return 2.0 * static_cast<double>(critical.size()) * delta / c;
 }
 
+double RaiseRule::tight_raise(const DemandInstance& inst,
+                              std::span<const EdgeId> critical, double slack,
+                              std::vector<double>& increments) const {
+  const double amount = delta(inst, critical, slack);
+  beta_increments(inst, critical, amount, increments);
+  return amount;
+}
+
+void RaiseRule::beta_increments(const DemandInstance& inst,
+                                std::span<const EdgeId> critical,
+                                double delta,
+                                std::vector<double>& increments) const {
+  increments.resize(critical.size());
+  for (std::size_t c = 0; c < critical.size(); ++c)
+    increments[c] = beta_increment(inst, critical, delta, critical[c]);
+}
+
 double RaiseRule::price_factor(int delta_size) const {
   const auto d = static_cast<double>(delta_size);
   const double alpha_term = raise_alpha_ ? 1.0 : 0.0;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "common/prelude.hpp"
 #include "model/problem.hpp"
@@ -73,6 +74,23 @@ class RaiseRule {
   double ratio_bound(int delta_size, double lambda) const {
     return price_factor(delta_size) / lambda;
   }
+
+  // Computes one tight raise in a single call: the raise amount for the
+  // given slack and the per-critical-edge beta increments (written to
+  // `increments`, resized to critical.size()).  This is the one place the
+  // raise arithmetic lives — the modeled engine (central and incremental
+  // paths alike) and the message-level protocol all call it, so the three
+  // implementations cannot drift apart numerically.
+  double tight_raise(const DemandInstance& inst,
+                     std::span<const EdgeId> critical, double slack,
+                     std::vector<double>& increments) const;
+
+  // The increments-only form, for replaying a raise whose amount is
+  // already known (the parallel-epoch merge): identical arithmetic and
+  // order as tight_raise, which delegates here.
+  void beta_increments(const DemandInstance& inst,
+                       std::span<const EdgeId> critical, double delta,
+                       std::vector<double>& increments) const;
 
   // The per-stage decay base xi of the multi-stage schedule (Section 5 /
   // Section 6): 2(Delta+1)/(2(Delta+1)+1) for kUnit (14/15 when Delta=6,

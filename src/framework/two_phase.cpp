@@ -1,8 +1,12 @@
 #include "framework/two_phase.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <thread>
+#include <utility>
 
 #include "framework/certify.hpp"
 
@@ -72,7 +76,7 @@ void SolveStats::merge(const SolveStats& other) {
 }
 
 // ---------------------------------------------------------------------------
-// TwoPhaseEngine
+// TwoPhaseEngine — shared setup
 
 TwoPhaseEngine::TwoPhaseEngine(const Problem& problem, const LayeredPlan& plan,
                                SolverConfig config, MisOracle* oracle)
@@ -90,6 +94,7 @@ TwoPhaseEngine::TwoPhaseEngine(const Problem& problem, const LayeredPlan& plan,
     default_oracle_ = std::make_unique<GreedyMis>(problem);
     oracle_ = default_oracle_.get();
   }
+  if (config_.engine == EngineImpl::kIncremental) build_edge_positions();
 }
 
 void TwoPhaseEngine::restrict_to(std::vector<InstanceId> active) {
@@ -123,19 +128,99 @@ void TwoPhaseEngine::count_notifications(InstanceId i, SolveStats& stats) {
   stats.message_bytes += neighbors * 48;
 }
 
-void TwoPhaseEngine::raise(InstanceId i, DualState& dual, SolveStats& stats,
-                           std::vector<InstanceId>& raised_order) {
+TwoPhaseEngine::StageSchedule TwoPhaseEngine::prepare(SolveStats& stats) const {
+  StageSchedule sched;
+  // Delta and h_min over the active instances only: the wide/narrow split
+  // runs see different effective parameters.
+  double h_min = 1.0;
+  stats.delta = 0;
+  for (InstanceId i = 0; i < problem_->num_instances(); ++i) {
+    if (!is_active(i)) continue;
+    sched.any_active = true;
+    h_min = std::min(h_min, problem_->instance(i).height);
+    stats.delta =
+        std::max(stats.delta,
+                 static_cast<int>(plan_->critical[static_cast<std::size_t>(i)]
+                                      .size()));
+  }
+  if (!sched.any_active) return sched;
+
+  sched.xi = config_.xi_override > 0.0
+                 ? config_.xi_override
+                 : RaiseRule::default_xi(config_.rule, stats.delta, h_min);
+  stats.xi = sched.xi;
+
+  sched.stages_per_epoch = 1;
+  sched.fixed_threshold = 1.0;  // kExact: raise until tight (lambda = 1)
+  if (config_.stage_mode == StageMode::kMultiStage) {
+    // Smallest b with xi^b <= eps.
+    sched.stages_per_epoch = static_cast<int>(
+        std::ceil(std::log(config_.epsilon) / std::log(sched.xi)));
+    sched.stages_per_epoch = std::max(sched.stages_per_epoch, 1);
+  } else if (config_.stage_mode == StageMode::kSingleStagePS) {
+    // Panconesi-Sozio: a single stage per epoch with retirement at
+    // 1/(5+eps)-satisfaction.
+    sched.fixed_threshold = 1.0 / (5.0 + config_.epsilon);
+  }
+  stats.stages_per_epoch = sched.stages_per_epoch;
+  sched.lockstep_budget =
+      lockstep_step_budget(*problem_, config_.lockstep_slack);
+  return sched;
+}
+
+double TwoPhaseEngine::stage_target(const StageSchedule& sched,
+                                    int stage) const {
+  return config_.stage_mode == StageMode::kMultiStage
+             ? 1.0 - std::pow(sched.xi, stage)
+             : sched.fixed_threshold;
+}
+
+void TwoPhaseEngine::finish(SolveResult& result,
+                            std::vector<std::vector<InstanceId>>& stack) {
+  SolveStats& stats = result.stats;
+  // lambda == 0 (possible only when an oracle failure left an instance
+  // completely unsatisfied) admits no finite scaled-dual certificate.
+  stats.dual_upper_bound =
+      stats.lambda_observed > 0.0
+          ? stats.dual_objective / std::min(1.0, stats.lambda_observed)
+          : std::numeric_limits<double>::infinity();
+  result.solution = prune_stack(*problem_, stack);
+  stats.profit = result.solution.profit(*problem_);
+  if (config_.keep_stack) result.raise_stack = std::move(stack);
+}
+
+SolveResult TwoPhaseEngine::run() {
+  SolveResult result;
+  const StageSchedule sched = prepare(result.stats);
+  if (!sched.any_active) {
+    result.stats.lambda_observed = 1.0;
+    return result;
+  }
+  if (config_.engine == EngineImpl::kCentralReference)
+    run_central(sched, result);
+  else
+    run_incremental(sched, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Central-reference engine: the pre-incremental implementation, kept as
+// the parity oracle.  Every step rescans the whole member list and
+// recomputes each LHS from scratch over the central DualState.
+
+void TwoPhaseEngine::raise(InstanceId i, DualState& dual,
+                           const RaiseRule& rule, SolveStats& stats,
+                           std::vector<InstanceId>& raised_order,
+                           std::vector<double>& increments) {
   const DemandInstance& inst = problem_->instance(i);
-  const RaiseRule rule(config_.rule, *problem_, config_.raise_alpha,
-                       config_.capacity_aware_raises);
   const auto& critical = plan_->critical[static_cast<std::size_t>(i)];
   const double lhs = dual.lhs(inst, rule.beta_coeff(inst));
   const double slack = inst.profit - lhs;
   TS_DCHECK(slack > 0.0);
-  const double delta = rule.delta(inst, critical, slack);
+  const double delta = rule.tight_raise(inst, critical, slack, increments);
   if (config_.raise_alpha) dual.raise_alpha(inst.demand, delta);
-  for (EdgeId e : critical)
-    dual.raise_beta(e, rule.beta_increment(inst, critical, delta, e));
+  for (std::size_t c = 0; c < critical.size(); ++c)
+    dual.raise_beta(critical[c], increments[c]);
   // The raise must satisfy d's constraint tightly (paper, Section 3.2).
   TS_DCHECK(std::abs(dual.lhs(inst, rule.beta_coeff(inst)) - inst.profit) <=
             1e-6 * std::max(1.0, inst.profit));
@@ -162,55 +247,17 @@ void TwoPhaseEngine::raise(InstanceId i, DualState& dual, SolveStats& stats,
   if (config_.count_messages) count_notifications(i, stats);
 }
 
-SolveResult TwoPhaseEngine::run() {
-  SolveResult result;
+void TwoPhaseEngine::run_central(const StageSchedule& sched,
+                                 SolveResult& result) {
   SolveStats& stats = result.stats;
   DualState dual(*problem_);
   const RaiseRule rule(config_.rule, *problem_, config_.raise_alpha,
                        config_.capacity_aware_raises);
 
-  // Delta and h_min over the active instances only: the wide/narrow split
-  // runs see different effective parameters.
-  double h_min = 1.0;
-  stats.delta = 0;
-  bool any_active = false;
-  for (InstanceId i = 0; i < problem_->num_instances(); ++i) {
-    if (!is_active(i)) continue;
-    any_active = true;
-    h_min = std::min(h_min, problem_->instance(i).height);
-    stats.delta =
-        std::max(stats.delta,
-                 static_cast<int>(plan_->critical[static_cast<std::size_t>(i)]
-                                      .size()));
-  }
-  if (!any_active) {
-    stats.lambda_observed = 1.0;
-    return result;
-  }
-
-  const double xi =
-      config_.xi_override > 0.0
-          ? config_.xi_override
-          : RaiseRule::default_xi(config_.rule, stats.delta, h_min);
-  stats.xi = xi;
-
-  int stages_per_epoch = 1;
-  double fixed_threshold = 1.0;  // kExact: raise until tight (lambda = 1)
-  if (config_.stage_mode == StageMode::kMultiStage) {
-    // Smallest b with xi^b <= eps.
-    stages_per_epoch = static_cast<int>(
-        std::ceil(std::log(config_.epsilon) / std::log(xi)));
-    stages_per_epoch = std::max(stages_per_epoch, 1);
-  } else if (config_.stage_mode == StageMode::kSingleStagePS) {
-    // Panconesi-Sozio: a single stage per epoch with retirement at
-    // 1/(5+eps)-satisfaction.
-    fixed_threshold = 1.0 / (5.0 + config_.epsilon);
-  }
-  stats.stages_per_epoch = stages_per_epoch;
-
   std::vector<std::vector<InstanceId>> stack;
   std::vector<InstanceId> raised_order;
   std::vector<InstanceId> members, unsatisfied;
+  std::vector<double> increments;
 
   for (int g = 0; g < plan_->num_groups; ++g) {
     members.clear();
@@ -219,14 +266,8 @@ SolveResult TwoPhaseEngine::run() {
     if (members.empty()) continue;
     ++stats.epochs;
 
-    // Lockstep mode: the fixed per-stage budget of Lemma 5.1.
-    const int lockstep_budget =
-        lockstep_step_budget(*problem_, config_.lockstep_slack);
-
-    for (int j = 1; j <= stages_per_epoch; ++j) {
-      const double target = config_.stage_mode == StageMode::kMultiStage
-                                ? 1.0 - std::pow(xi, j)
-                                : fixed_threshold;
+    for (int j = 1; j <= sched.stages_per_epoch; ++j) {
+      const double target = stage_target(sched, j);
       ++stats.stages;
       int steps_this_stage = 0;
       for (;;) {
@@ -238,7 +279,7 @@ SolveResult TwoPhaseEngine::run() {
             unsatisfied.push_back(i);
         }
         if (config_.lockstep) {
-          if (steps_this_stage >= lockstep_budget) {
+          if (steps_this_stage >= sched.lockstep_budget) {
             // The budget is exhausted; Lemma 5.1 predicts U is empty.
             if (!unsatisfied.empty()) stats.lockstep_ok = false;
             break;
@@ -275,7 +316,7 @@ SolveResult TwoPhaseEngine::run() {
           break;
         }
         for (InstanceId i : mis.selected)
-          raise(i, dual, stats, raised_order);
+          raise(i, dual, rule, stats, raised_order, increments);
         stack.push_back(mis.selected);
         TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
       }
@@ -289,18 +330,532 @@ SolveResult TwoPhaseEngine::run() {
   stats.dual_objective = dual.objective();
   stats.lambda_observed =
       observed_lambda(*problem_, dual, rule, active_mask_);
-  // lambda == 0 (possible only when an oracle failure left an instance
-  // completely unsatisfied) admits no finite scaled-dual certificate.
-  stats.dual_upper_bound =
-      stats.lambda_observed > 0.0
-          ? stats.dual_objective / std::min(1.0, stats.lambda_observed)
-          : std::numeric_limits<double>::infinity();
-
-  result.solution = prune_stack(*problem_, stack);
-  stats.profit = result.solution.profit(*problem_);
-  if (config_.keep_stack) result.raise_stack = std::move(stack);
-  return result;
+  finish(result, stack);
 }
+
+// ---------------------------------------------------------------------------
+// Incremental engine: per-instance DualShard stores + cached LHS + the
+// per-stage unsatisfied frontier.  Raises propagate through the CSR
+// edge->instances index to exactly the instances whose constraints read a
+// raised variable; everyone else's cached LHS stays valid.  All arithmetic
+// (the ordered beta walk, the objective accumulation order) deliberately
+// replays the central engine's operation order, so the two paths agree
+// bit for bit — tests/test_engine_parity.cpp compares with ==.
+
+void TwoPhaseEngine::build_edge_positions() {
+  // Per-(edge, instance) path positions, aligned entry-for-entry with the
+  // Problem's CSR buckets: propagation applies an increment with a single
+  // indexed store instead of a per-target binary search.  Depends only on
+  // the Problem, so it is built once at construction, not per run.
+  const InstanceId n = problem_->num_instances();
+  const EdgeId num_edges = problem_->num_global_edges();
+  edge_pos_offset_.assign(static_cast<std::size_t>(num_edges) + 1, 0);
+  for (EdgeId e = 0; e < num_edges; ++e)
+    edge_pos_offset_[static_cast<std::size_t>(e) + 1] =
+        edge_pos_offset_[static_cast<std::size_t>(e)] +
+        static_cast<std::int64_t>(problem_->instances_on_edge(e).size());
+  edge_pos_.resize(static_cast<std::size_t>(edge_pos_offset_.back()));
+  std::vector<std::int64_t> cursor(edge_pos_offset_.begin(),
+                                   edge_pos_offset_.end() - 1);
+  for (InstanceId i = 0; i < n; ++i) {
+    const auto& edges = problem_->instance(i).edges;
+    for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+      const auto e = static_cast<std::size_t>(edges[idx]);
+      edge_pos_[static_cast<std::size_t>(cursor[e]++)] =
+          static_cast<int>(idx);
+    }
+  }
+
+  // Component-decomposition scratch; comp_stamp_ stays monotone across
+  // runs, so the stamp arrays never need re-clearing.
+  comp_edge_stamp_.assign(static_cast<std::size_t>(num_edges), 0);
+  comp_edge_rank_.assign(static_cast<std::size_t>(num_edges), 0);
+  comp_demand_stamp_.assign(static_cast<std::size_t>(problem_->num_demands()),
+                            0);
+  comp_demand_rank_.assign(static_cast<std::size_t>(problem_->num_demands()),
+                           0);
+  rank_of_.assign(static_cast<std::size_t>(n), -1);
+}
+
+void TwoPhaseEngine::build_local_stores() {
+  const InstanceId n = problem_->num_instances();
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (InstanceId i = 0; i < n; ++i) {
+    const DemandInstance& inst = problem_->instance(i);
+    shards_.emplace_back(inst.demand,
+                         std::span<const EdgeId>{inst.edges.data(),
+                                                 inst.edges.size()});
+  }
+  lhs_cache_.assign(static_cast<std::size_t>(n), 0.0);
+  lhs_fresh_.assign(static_cast<std::size_t>(n), 1);  // all-zero duals
+}
+
+void TwoPhaseEngine::propagate_raise(InstanceId i, double delta,
+                                     std::span<const double> increments,
+                                     PropScope scope, int group) {
+  const DemandInstance& inst = problem_->instance(i);
+  const auto in_scope = [&](InstanceId k) {
+    if (!is_active(k)) return false;
+    if (scope == PropScope::kAll) return true;
+    const bool in_group =
+        plan_->group[static_cast<std::size_t>(k)] == group;
+    return scope == PropScope::kInGroup ? in_group : !in_group;
+  };
+  if (config_.raise_alpha) {
+    for (InstanceId k : problem_->instances_of_demand(inst.demand)) {
+      if (!in_scope(k)) continue;
+      shards_[static_cast<std::size_t>(k)].raise_alpha(delta);
+      lhs_fresh_[static_cast<std::size_t>(k)] = 0;
+    }
+  }
+  const auto& critical = plan_->critical[static_cast<std::size_t>(i)];
+  for (std::size_t c = 0; c < critical.size(); ++c) {
+    const EdgeId e = critical[c];
+    const auto bucket = problem_->instances_on_edge(e);
+    const int* pos =
+        edge_pos_.data() + edge_pos_offset_[static_cast<std::size_t>(e)];
+    for (std::size_t b = 0; b < bucket.size(); ++b) {
+      const InstanceId k = bucket[b];
+      if (!in_scope(k)) continue;
+      shards_[static_cast<std::size_t>(k)].raise_beta_at(pos[b],
+                                                         increments[c]);
+      lhs_fresh_[static_cast<std::size_t>(k)] = 0;
+    }
+  }
+}
+
+void TwoPhaseEngine::bookkeep_raise(InstanceId i, double delta,
+                                    std::span<const double> increments,
+                                    double& objective, SolveStats& stats,
+                                    std::vector<InstanceId>& raised_order) {
+  const DemandInstance& inst = problem_->instance(i);
+  const auto& critical = plan_->critical[static_cast<std::size_t>(i)];
+  // Accumulation order mirrors DualState exactly: the alpha term first,
+  // then the critical edges in order, capacity-weighted.
+  if (config_.raise_alpha) objective += delta;
+  for (std::size_t c = 0; c < critical.size(); ++c)
+    objective += problem_->capacity(critical[c]) * increments[c];
+  ++stats.raises;
+
+  if (config_.check_interference) {
+    for (InstanceId prev : raised_order) {
+      if (!problem_->overlap(prev, i)) continue;
+      const auto& path_i = inst.edges;
+      bool hit = false;
+      for (EdgeId e : plan_->critical[static_cast<std::size_t>(prev)]) {
+        if (std::binary_search(path_i.begin(), path_i.end(), e)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) stats.interference_ok = false;
+    }
+  }
+  raised_order.push_back(i);
+
+  if (config_.count_messages) count_notifications(i, stats);
+}
+
+void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
+                                     SolveResult& result) {
+  SolveStats& stats = result.stats;
+  const RaiseRule rule(config_.rule, *problem_, config_.raise_alpha,
+                       config_.capacity_aware_raises);
+  build_local_stores();
+  double objective = 0.0;
+
+  // Parallel epoch execution needs a component-local oracle per worker;
+  // an oracle without component_clone support pins the run to the serial
+  // path (which also serves threads == 1).
+  const bool parallel =
+      config_.threads > 1 && oracle_->supports_component_clone();
+
+  std::vector<std::vector<InstanceId>> stack;
+  std::vector<InstanceId> raised_order;
+  std::vector<InstanceId> members, unsat;
+  std::vector<double> increments;
+
+  for (int g = 0; g < plan_->num_groups; ++g) {
+    members.clear();
+    for (InstanceId i : plan_->members[static_cast<std::size_t>(g)])
+      if (is_active(i)) members.push_back(i);
+    if (members.empty()) continue;
+    ++stats.epochs;
+
+    if (parallel) {
+      std::vector<EpochComponent> comps = split_components(members, g);
+      if (comps.size() > 1) {
+        // Fixed-size pool over an atomic work index: which worker runs
+        // which component is scheduling-dependent, but each component's
+        // writes are confined to its own members' shards and caches, and
+        // the merge below replays everything in fixed component order —
+        // so the output is independent of the interleaving.
+        std::atomic<std::size_t> next{0};
+        const auto work = [&] {
+          for (;;) {
+            const std::size_t c = next.fetch_add(1);
+            if (c >= comps.size()) break;
+            run_component(comps[c], rule, sched, g);
+          }
+        };
+        const int workers = std::min(config_.threads,
+                                     static_cast<int>(comps.size()));
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers) - 1);
+        for (int w = 1; w < workers; ++w) pool.emplace_back(work);
+        work();
+        for (std::thread& t : pool) t.join();
+      } else {
+        for (EpochComponent& comp : comps)
+          run_component(comp, rule, sched, g);
+      }
+      merge_components(comps, members, rule, sched, g, objective, stats,
+                       stack, raised_order);
+      continue;
+    }
+
+    // Serial frontier path.
+    for (int j = 1; j <= sched.stages_per_epoch; ++j) {
+      const double target = stage_target(sched, j);
+      ++stats.stages;
+      int steps_this_stage = 0;
+      bool scanned = false;
+      for (;;) {
+        if (!scanned) {
+          // The stage's one member scan — O(1) cached reads; from here
+          // on the frontier only shrinks (raises are monotone within a
+          // stage), so each step filters the previous frontier instead
+          // of rescanning the group.
+          unsat.clear();
+          for (InstanceId i : members)
+            if (unsatisfied_local(i, rule, target)) unsat.push_back(i);
+          scanned = true;
+        } else {
+          std::size_t w = 0;
+          for (std::size_t r = 0; r < unsat.size(); ++r)
+            if (unsatisfied_local(unsat[r], rule, target))
+              unsat[w++] = unsat[r];
+          unsat.resize(w);
+        }
+        if (config_.lockstep) {
+          if (steps_this_stage >= sched.lockstep_budget) {
+            if (!unsat.empty()) stats.lockstep_ok = false;
+            break;
+          }
+          if (unsat.empty()) {
+            ++stats.steps;
+            ++steps_this_stage;
+            stats.mis_rounds += 2;
+            stats.comm_rounds += 3;
+            continue;
+          }
+        } else if (unsat.empty()) {
+          break;
+        }
+        const MisResult mis =
+            oracle_->run(std::span<const InstanceId>(unsat.data(),
+                                                     unsat.size()));
+        ++stats.steps;
+        ++steps_this_stage;
+        stats.mis_rounds += mis.rounds;
+        stats.comm_rounds += mis.rounds + 1;  // +1: dual propagation
+        if (mis.selected.empty()) {
+          stats.mis_ok = false;
+          if (config_.lockstep) continue;
+          stats.lockstep_ok = false;
+          break;
+        }
+        for (InstanceId i : mis.selected) {
+          const DemandInstance& inst = problem_->instance(i);
+          const auto& critical =
+              plan_->critical[static_cast<std::size_t>(i)];
+          const double slack =
+              inst.profit - lhs_local(i, rule.beta_coeff(inst));
+          TS_DCHECK(slack > 0.0);
+          const double delta =
+              rule.tight_raise(inst, critical, slack, increments);
+          propagate_raise(i, delta, increments, PropScope::kAll, g);
+          bookkeep_raise(i, delta, increments, objective, stats,
+                         raised_order);
+          TS_DCHECK(std::abs(lhs_local(i, rule.beta_coeff(inst)) -
+                             inst.profit) <=
+                    1e-6 * std::max(1.0, inst.profit));
+        }
+        stack.push_back(mis.selected);
+        TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
+      }
+      stats.max_steps_in_stage =
+          std::max(stats.max_steps_in_stage, steps_this_stage);
+    }
+  }
+
+  // Certification from the local stores alone: every instance reports its
+  // own satisfaction level (the same operation sequence as
+  // observed_lambda over the central DualState).
+  stats.dual_objective = objective;
+  double lambda = 1.0;
+  bool any = false;
+  for (InstanceId i = 0; i < problem_->num_instances(); ++i) {
+    if (!is_active(i)) continue;
+    const DemandInstance& inst = problem_->instance(i);
+    const double lhs = lhs_local(i, rule.beta_coeff(inst));
+    const double level = lhs / inst.profit;
+    lambda = any ? std::min(lambda, level) : level;
+    any = true;
+  }
+  stats.lambda_observed = any ? lambda : 1.0;
+  finish(result, stack);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel epochs: conflict-disjoint components.
+//
+// Within one group, a raise of member i touches beta only on critical
+// edges of path(i) and alpha of i's demand; any member whose constraint
+// reads one of those variables conflicts with i and is therefore in i's
+// connected component of the conflict graph restricted to the group.  So
+// components never read each other's writes during an epoch and can run
+// concurrently; raises reaching *later* groups are deferred and replayed
+// by the merge in (step, member-rank) order — exactly the chronological
+// order the serial engine applies them in, which is what keeps the
+// parallel path bit-identical for decomposable (deterministic) oracles.
+
+std::vector<TwoPhaseEngine::EpochComponent> TwoPhaseEngine::split_components(
+    const std::vector<InstanceId>& members, int group) {
+  const int m = static_cast<int>(members.size());
+  ++comp_stamp_;
+  std::vector<int> parent(static_cast<std::size_t>(m));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  const auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Min-root union keeps every root the smallest rank of its component,
+    // giving the fixed component ordering the determinism relies on.
+    if (a < b)
+      parent[static_cast<std::size_t>(b)] = a;
+    else
+      parent[static_cast<std::size_t>(a)] = b;
+  };
+  // Stamped last-seen entries: one pass over the members' paths links
+  // every clique (per-edge, per-demand) into a chain of unions.
+  for (int rank = 0; rank < m; ++rank) {
+    const InstanceId i = members[static_cast<std::size_t>(rank)];
+    rank_of_[static_cast<std::size_t>(i)] = rank;
+    const DemandInstance& inst = problem_->instance(i);
+    const auto d = static_cast<std::size_t>(inst.demand);
+    if (comp_demand_stamp_[d] == comp_stamp_)
+      unite(rank, comp_demand_rank_[d]);
+    comp_demand_stamp_[d] = comp_stamp_;
+    comp_demand_rank_[d] = rank;
+    for (EdgeId e : inst.edges) {
+      const auto ge = static_cast<std::size_t>(e);
+      if (comp_edge_stamp_[ge] == comp_stamp_)
+        unite(rank, comp_edge_rank_[ge]);
+      comp_edge_stamp_[ge] = comp_stamp_;
+      comp_edge_rank_[ge] = rank;
+    }
+  }
+
+  std::vector<int> comp_of_root(static_cast<std::size_t>(m), -1);
+  std::vector<EpochComponent> comps;
+  for (int rank = 0; rank < m; ++rank) {
+    const int root = find(rank);
+    int c = comp_of_root[static_cast<std::size_t>(root)];
+    if (c < 0) {
+      c = static_cast<int>(comps.size());
+      comp_of_root[static_cast<std::size_t>(root)] = c;
+      comps.emplace_back();
+    }
+    comps[static_cast<std::size_t>(c)].ranks.push_back(rank);
+    comps[static_cast<std::size_t>(c)].ids.push_back(
+        members[static_cast<std::size_t>(rank)]);
+  }
+  for (EpochComponent& comp : comps) {
+    // Stable component key: the epoch and the component's first member.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(group))
+         << 32) ^
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(comp.ids.front()));
+    comp.oracle = oracle_->component_clone(key);
+    TS_REQUIRE(comp.oracle != nullptr);
+  }
+  return comps;
+}
+
+void TwoPhaseEngine::run_component(EpochComponent& comp,
+                                   const RaiseRule& rule,
+                                   const StageSchedule& sched, int group) {
+  comp.stages.assign(static_cast<std::size_t>(sched.stages_per_epoch), {});
+  std::vector<InstanceId> unsat;
+  std::vector<double> increments;
+  std::vector<std::size_t> order;
+  for (int j = 1; j <= sched.stages_per_epoch; ++j) {
+    const double target = stage_target(sched, j);
+    auto& steps = comp.stages[static_cast<std::size_t>(j - 1)];
+    int steps_this_stage = 0;
+    bool scanned = false;
+    for (;;) {
+      if (!scanned) {
+        unsat.clear();
+        for (InstanceId i : comp.ids)
+          if (unsatisfied_local(i, rule, target)) unsat.push_back(i);
+        scanned = true;
+      } else {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < unsat.size(); ++r)
+          if (unsatisfied_local(unsat[r], rule, target))
+            unsat[w++] = unsat[r];
+        unsat.resize(w);
+      }
+      if (config_.lockstep && steps_this_stage >= sched.lockstep_budget) {
+        if (!unsat.empty()) comp.ended_short = true;
+        break;
+      }
+      // A finished component simply stops recording; the merge pads the
+      // lockstep schedule's idle steps when *every* component is done.
+      if (unsat.empty()) break;
+      const MisResult mis = comp.oracle->run(
+          std::span<const InstanceId>(unsat.data(), unsat.size()));
+      ++steps_this_stage;
+      EpochComponent::Step st;
+      st.rounds = mis.rounds;
+      if (mis.selected.empty()) {
+        comp.mis_failed = true;
+        steps.push_back(std::move(st));
+        if (!config_.lockstep) {
+          comp.ended_short = true;
+          break;
+        }
+        TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
+        continue;
+      }
+      for (InstanceId i : mis.selected) {
+        const DemandInstance& inst = problem_->instance(i);
+        const auto& critical =
+            plan_->critical[static_cast<std::size_t>(i)];
+        const double slack =
+            inst.profit - lhs_local(i, rule.beta_coeff(inst));
+        TS_DCHECK(slack > 0.0);
+        const double delta =
+            rule.tight_raise(inst, critical, slack, increments);
+        // In-component application only; out-of-group propagation is the
+        // merge's job (in deterministic order).
+        propagate_raise(i, delta, increments, PropScope::kInGroup, group);
+        st.ranks.push_back(rank_of_[static_cast<std::size_t>(i)]);
+        st.deltas.push_back(delta);
+      }
+      // Log in ascending member rank (randomized oracles report winners
+      // in decision order; raises within a step commute, so rank order is
+      // safe and deterministic).
+      order.resize(st.ranks.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                                std::size_t b) {
+        return st.ranks[a] < st.ranks[b];
+      });
+      EpochComponent::Step sorted;
+      sorted.rounds = st.rounds;
+      sorted.ranks.reserve(st.ranks.size());
+      sorted.deltas.reserve(st.deltas.size());
+      for (std::size_t k : order) {
+        sorted.ranks.push_back(st.ranks[k]);
+        sorted.deltas.push_back(st.deltas[k]);
+      }
+      steps.push_back(std::move(sorted));
+      TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
+    }
+  }
+}
+
+void TwoPhaseEngine::merge_components(
+    std::vector<EpochComponent>& comps,
+    const std::vector<InstanceId>& members, const RaiseRule& rule,
+    const StageSchedule& sched, int group, double& objective,
+    SolveStats& stats, std::vector<std::vector<InstanceId>>& stack,
+    std::vector<InstanceId>& raised_order) {
+  std::vector<std::pair<int, double>> merged;
+  std::vector<double> increments;
+  for (int j = 1; j <= sched.stages_per_epoch; ++j) {
+    ++stats.stages;
+    std::size_t max_steps = 0;
+    for (const EpochComponent& comp : comps)
+      max_steps = std::max(
+          max_steps, comp.stages[static_cast<std::size_t>(j - 1)].size());
+    const std::size_t stage_steps =
+        config_.lockstep ? static_cast<std::size_t>(sched.lockstep_budget)
+                         : max_steps;
+    int counted = 0;
+    bool stage_broken = false;
+    for (std::size_t t = 0; t < stage_steps && !stage_broken; ++t) {
+      merged.clear();
+      int rounds_t = 0;
+      bool any_component = false;
+      for (const EpochComponent& comp : comps) {
+        const auto& steps = comp.stages[static_cast<std::size_t>(j - 1)];
+        if (t >= steps.size()) continue;
+        any_component = true;
+        rounds_t = std::max(rounds_t, steps[t].rounds);
+        for (std::size_t k = 0; k < steps[t].ranks.size(); ++k)
+          merged.emplace_back(steps[t].ranks[k], steps[t].deltas[k]);
+      }
+      ++stats.steps;
+      ++counted;
+      if (!any_component) {
+        // Every component finished before the budget: the union U is
+        // empty, and the lockstep schedule idles through the remaining
+        // steps exactly as the serial engine does.
+        stats.mis_rounds += 2;
+        stats.comm_rounds += 3;
+        continue;
+      }
+      // The merged step costs the *maximum* of the concurrent per-
+      // component MIS rounds: components run their iterations in the same
+      // synchronous rounds.
+      stats.mis_rounds += rounds_t;
+      stats.comm_rounds += rounds_t + 1;
+      if (merged.empty()) {
+        stats.mis_ok = false;
+        if (!config_.lockstep) stage_broken = true;
+        continue;
+      }
+      std::sort(merged.begin(), merged.end());
+      std::vector<InstanceId> row;
+      row.reserve(merged.size());
+      for (const auto& [rank, delta] : merged) {
+        const InstanceId i = members[static_cast<std::size_t>(rank)];
+        const DemandInstance& inst = problem_->instance(i);
+        const auto& critical =
+            plan_->critical[static_cast<std::size_t>(i)];
+        rule.beta_increments(inst, critical, delta, increments);
+        propagate_raise(i, delta, increments, PropScope::kOutOfGroup,
+                        group);
+        bookkeep_raise(i, delta, increments, objective, stats,
+                       raised_order);
+        row.push_back(i);
+      }
+      stack.push_back(std::move(row));
+    }
+    stats.max_steps_in_stage = std::max(stats.max_steps_in_stage, counted);
+  }
+  for (const EpochComponent& comp : comps) {
+    if (comp.mis_failed) stats.mis_ok = false;
+    if (comp.ended_short) stats.lockstep_ok = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
 
 int lockstep_step_budget(const Problem& problem, int slack) {
   // Claim 5.2 budget with guards: a zero/denormal min_profit or an

@@ -20,6 +20,23 @@
 // takes a MisOracle.  The default greedy oracle models the sequential
 // algorithms; dist/ supplies the round-counting Luby oracle for the
 // distributed ones.
+//
+// Two phase-1 implementations share this interface (EngineImpl):
+//
+//  - kIncremental (default): per-instance DualShard stores — the same
+//    per-processor sharding the message-level protocol uses — with a
+//    cached LHS per instance, invalidated through the Problem's CSR
+//    edge->instances index for exactly the instances whose paths
+//    intersect a raised edge, and a per-stage *unsatisfied frontier*
+//    that shrinks monotonically (raises never decrease an LHS within a
+//    stage), so a step tests only the previous frontier instead of
+//    rescanning the group.  With SolverConfig::threads > 1, each
+//    epoch's conflict-disjoint components run on a worker pool and are
+//    merged deterministically.
+//  - kCentralReference: the pre-incremental engine (central DualState,
+//    full member rescan with a from-scratch beta walk every step), kept
+//    as the parity oracle.  Both implementations are bit-identical on
+//    all outputs (tests/test_engine_parity.cpp).
 #pragma once
 
 #include <memory>
@@ -28,6 +45,7 @@
 
 #include "common/prelude.hpp"
 #include "decomp/layered.hpp"
+#include "framework/dual_shard.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/raise_rule.hpp"
 #include "model/problem.hpp"
@@ -46,6 +64,24 @@ class MisOracle {
  public:
   virtual ~MisOracle() = default;
   virtual MisResult run(std::span<const InstanceId> candidates) = 0;
+
+  // Parallel epoch execution (SolverConfig::threads > 1) runs each
+  // conflict-disjoint component of a group on its own worker, and each
+  // worker needs a private oracle: component_clone returns one dedicated
+  // to the component identified by `key` (stable across runs: derived
+  // from the epoch and the component's first member).  Deterministic
+  // oracles return an equivalent oracle — GreedyMis's clone reproduces
+  // the single-oracle run bit for bit.  Randomized oracles derive an
+  // independent stream from (seed, key), which keeps the run
+  // deterministic for any thread count but deliberately distinct from
+  // the serial single-stream run.  Oracles that cannot run
+  // component-local leave supports_component_clone() false; the engine
+  // then falls back to serial single-oracle execution.
+  virtual bool supports_component_clone() const { return false; }
+  virtual std::unique_ptr<MisOracle> component_clone(std::uint64_t key) {
+    (void)key;
+    return nullptr;
+  }
 };
 
 // Deterministic greedy MIS in instance-id order; 1 round (models local
@@ -55,6 +91,11 @@ class GreedyMis : public MisOracle {
  public:
   explicit GreedyMis(const Problem& problem);
   MisResult run(std::span<const InstanceId> candidates) override;
+  bool supports_component_clone() const override { return true; }
+  std::unique_ptr<MisOracle> component_clone(std::uint64_t key) override {
+    (void)key;
+    return std::make_unique<GreedyMis>(*problem_);
+  }
 
  private:
   const Problem* problem_;
@@ -70,6 +111,18 @@ class GreedyMis : public MisOracle {
 // are no longer polylog-bounded, matching the paper's remark that the
 // sequential round complexity can reach n.
 enum class StageMode { kMultiStage, kSingleStagePS, kExact };
+
+// Which phase-1 implementation runs.  kIncremental is the production
+// engine: per-instance DualShard stores (every satisfaction test is a
+// local O(1) read of a cached LHS), a CSR-driven raise propagation that
+// touches only the instances whose paths intersect the raised edges, and
+// a per-stage unsatisfied frontier that shrinks monotonically — no full
+// member rescans.  kCentralReference preserves the pre-incremental
+// engine (central DualState, full member rescan + from-scratch beta walk
+// every step) as the parity oracle: both paths are bit-identical on
+// every output, which tests/test_engine_parity.cpp enforces with exact
+// comparisons.
+enum class EngineImpl { kIncremental, kCentralReference };
 
 struct SolverConfig {
   double epsilon = 0.1;  // target slackness 1-eps (multi-stage mode)
@@ -99,6 +152,17 @@ struct SolverConfig {
   bool count_messages = false;
   // Hard safety cap on steps per stage.
   int max_steps_per_stage = 200000;
+  // Phase-1 implementation (see EngineImpl above).
+  EngineImpl engine = EngineImpl::kIncremental;
+  // Worker threads for the incremental engine's parallel epoch execution:
+  // each epoch's group is partitioned into conflict-disjoint components
+  // (no raise in one component can touch the LHS of another's members —
+  // the per-processor shards are the unit of parallelism), components run
+  // on a pool of this many workers, and the results are merged in fixed
+  // component order, so any threads >= 2 value yields the same output.
+  // Requires an oracle that supports component_clone(); otherwise, and
+  // with threads <= 1, epochs run serially.
+  int threads = 1;
 };
 
 struct SolveStats {
@@ -156,11 +220,83 @@ class TwoPhaseEngine {
   SolveResult run();
 
  private:
+  // The stage schedule shared by both engine implementations, derived
+  // once per run from the active instances.
+  struct StageSchedule {
+    double xi = 0.0;
+    int stages_per_epoch = 1;
+    double fixed_threshold = 1.0;  // kExact / kSingleStagePS target
+    int lockstep_budget = 0;
+    bool any_active = false;
+  };
+  // One conflict-disjoint component of an epoch's group, plus the
+  // decision log its worker records for the deterministic merge.
+  struct EpochComponent {
+    std::vector<int> ranks;            // member ranks, ascending
+    std::vector<InstanceId> ids;       // members[rank], same order
+    std::unique_ptr<MisOracle> oracle;
+    struct Step {
+      std::vector<int> ranks;          // raised members, ascending rank
+      std::vector<double> deltas;      // parallel to ranks
+      int rounds = 0;
+    };
+    std::vector<std::vector<Step>> stages;  // [stage - 1][step]
+    bool mis_failed = false;    // oracle returned empty on a non-empty pool
+    bool ended_short = false;   // stage ended with unsatisfied members left
+  };
+  enum class PropScope { kAll, kInGroup, kOutOfGroup };
+
   bool is_active(InstanceId i) const {
     return active_mask_[static_cast<std::size_t>(i)] != 0;
   }
-  void raise(InstanceId i, DualState& dual, SolveStats& stats,
-             std::vector<InstanceId>& raised_order);
+  StageSchedule prepare(SolveStats& stats) const;
+  double stage_target(const StageSchedule& sched, int stage) const;
+  // Common tail of both paths: the scaled-dual upper bound, phase 2, and
+  // the optional stack handoff.
+  void finish(SolveResult& result,
+              std::vector<std::vector<InstanceId>>& stack);
+
+  // Central-reference path.
+  void run_central(const StageSchedule& sched, SolveResult& result);
+  void raise(InstanceId i, DualState& dual, const RaiseRule& rule,
+             SolveStats& stats, std::vector<InstanceId>& raised_order,
+             std::vector<double>& increments);
+
+  // Incremental path.
+  void run_incremental(const StageSchedule& sched, SolveResult& result);
+  void build_edge_positions();  // problem-static, built at construction
+  void build_local_stores();    // per-run dual state reset
+  double lhs_local(InstanceId i, double beta_coeff) {
+    const auto k = static_cast<std::size_t>(i);
+    if (!lhs_fresh_[k]) {
+      lhs_cache_[k] = shards_[k].lhs_ordered(beta_coeff);
+      lhs_fresh_[k] = 1;
+    }
+    return lhs_cache_[k];
+  }
+  bool unsatisfied_local(InstanceId i, const RaiseRule& rule, double target) {
+    const DemandInstance& inst = problem_->instance(i);
+    return lhs_local(i, rule.beta_coeff(inst)) <
+           target * inst.profit - kEps * inst.profit;
+  }
+  void propagate_raise(InstanceId i, double delta,
+                       std::span<const double> increments, PropScope scope,
+                       int group);
+  void bookkeep_raise(InstanceId i, double delta,
+                      std::span<const double> increments, double& objective,
+                      SolveStats& stats,
+                      std::vector<InstanceId>& raised_order);
+  std::vector<EpochComponent> split_components(
+      const std::vector<InstanceId>& members, int group);
+  void run_component(EpochComponent& comp, const RaiseRule& rule,
+                     const StageSchedule& sched, int group);
+  void merge_components(std::vector<EpochComponent>& comps,
+                        const std::vector<InstanceId>& members,
+                        const RaiseRule& rule, const StageSchedule& sched,
+                        int group, double& objective, SolveStats& stats,
+                        std::vector<std::vector<InstanceId>>& stack,
+                        std::vector<InstanceId>& raised_order);
+
   void count_notifications(InstanceId i, SolveStats& stats);
 
   const Problem* problem_;
@@ -171,6 +307,20 @@ class TwoPhaseEngine {
   std::vector<char> active_mask_;
   std::vector<int> demand_seen_stamp_;
   int notify_stamp_ = 0;
+
+  // Incremental-engine state, rebuilt by every run(): per-instance dual
+  // shards, the cached-LHS layer over them, and the per-(edge, instance)
+  // path positions aligned with the Problem's CSR buckets.
+  std::vector<DualShard> shards_;
+  std::vector<double> lhs_cache_;
+  std::vector<char> lhs_fresh_;
+  std::vector<std::int64_t> edge_pos_offset_;
+  std::vector<int> edge_pos_;
+  // Component decomposition scratch (stamped, no per-epoch clearing).
+  std::vector<int> comp_edge_stamp_, comp_edge_rank_;
+  std::vector<int> comp_demand_stamp_, comp_demand_rank_;
+  std::vector<int> rank_of_;
+  int comp_stamp_ = 0;
 };
 
 // Wide/narrow classification of the arbitrary-height case (paper,

@@ -114,11 +114,27 @@ void Problem::finalize() {
   check_input(!instances_.empty(), "problem has no demand instances");
 
   by_demand_.assign(static_cast<std::size_t>(num_demands()), {});
-  by_edge_.assign(static_cast<std::size_t>(total_edges_), {});
   for (const DemandInstance& inst : instances_) {
     by_demand_[static_cast<std::size_t>(inst.demand)].push_back(inst.id);
+  }
+
+  // CSR edge -> instances index, built by counting sort: one pass counts
+  // bucket sizes, the prefix sum lays out the flat array, one pass fills
+  // it.  Instances are visited in ascending id, so every bucket comes out
+  // id-sorted.
+  edge_index_offset_.assign(static_cast<std::size_t>(total_edges_) + 1, 0);
+  for (const DemandInstance& inst : instances_) {
+    for (EdgeId e : inst.edges) ++edge_index_offset_[static_cast<std::size_t>(e) + 1];
+  }
+  for (std::size_t e = 1; e < edge_index_offset_.size(); ++e)
+    edge_index_offset_[e] += edge_index_offset_[e - 1];
+  edge_index_.resize(static_cast<std::size_t>(edge_index_offset_.back()));
+  std::vector<std::int64_t> cursor(edge_index_offset_.begin(),
+                                   edge_index_offset_.end() - 1);
+  for (const DemandInstance& inst : instances_) {
     for (EdgeId e : inst.edges)
-      by_edge_[static_cast<std::size_t>(e)].push_back(inst.id);
+      edge_index_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e)]++)] =
+          inst.id;
   }
 
   pmax_ = pmin_ = demands_.front().profit;
@@ -191,11 +207,14 @@ const std::vector<InstanceId>& Problem::instances_of_demand(DemandId d) const {
   return by_demand_[static_cast<std::size_t>(d)];
 }
 
-const std::vector<InstanceId>& Problem::instances_on_edge(
-    EdgeId global) const {
+std::span<const InstanceId> Problem::instances_on_edge(EdgeId global) const {
   require_finalized();
   TS_REQUIRE(global >= 0 && global < total_edges_);
-  return by_edge_[static_cast<std::size_t>(global)];
+  const auto lo = static_cast<std::size_t>(
+      edge_index_offset_[static_cast<std::size_t>(global)]);
+  const auto hi = static_cast<std::size_t>(
+      edge_index_offset_[static_cast<std::size_t>(global) + 1]);
+  return {edge_index_.data() + lo, hi - lo};
 }
 
 bool Problem::overlap(InstanceId a, InstanceId b) const {

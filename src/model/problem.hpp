@@ -99,7 +99,12 @@ class Problem {
     return {instances_.data(), instances_.size()};
   }
   const std::vector<InstanceId>& instances_of_demand(DemandId d) const;
-  const std::vector<InstanceId>& instances_on_edge(EdgeId global) const;
+  // Instances whose path contains `global`, ascending by id.  Backed by a
+  // CSR inverted index (one offsets array + one flat id array), so the
+  // whole index is two contiguous allocations and a bucket lookup is two
+  // loads — this is the hot lookup of the incremental engine's raise
+  // propagation (every raised edge fans out to exactly this bucket).
+  std::span<const InstanceId> instances_on_edge(EdgeId global) const;
 
   // --- predicates (paper, Section 2 notation) ------------------------------
   // d1 and d2 overlap: same network and paths share at least one edge.
@@ -137,7 +142,10 @@ class Problem {
   bool finalized_ = false;
 
   std::vector<std::vector<InstanceId>> by_demand_;
-  std::vector<std::vector<InstanceId>> by_edge_;
+  // CSR edge -> instances index: bucket of edge e is
+  // edge_index_[edge_index_offset_[e] .. edge_index_offset_[e + 1]).
+  std::vector<std::int64_t> edge_index_offset_;
+  std::vector<InstanceId> edge_index_;
 
   Profit pmax_ = 0.0, pmin_ = 0.0, ptotal_ = 0.0;
   Height hmin_ = 1.0, hmax_ = 1.0;

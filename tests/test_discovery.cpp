@@ -76,8 +76,69 @@ TEST(Discovery, AccountingMatchesClosedForm) {
       discover_conflicts(p, {members.data(), members.size()}, rt);
 
   // Registrations: one per (member, path edge) plus one per member for
-  // the demand owner.  Replies: per owner bucket B with |B| >= 2, one
-  // message of |B|-1 ids to each registrant.
+  // the demand owner, 16 header bytes each (empty payload).  Replies:
+  // per owner bucket B with |B| >= 2, one interval digest of the whole
+  // bucket to each registrant — |B| messages of 2*runs(B) doubles, i.e.
+  // |B| * (16 + 16*runs(B)) bytes.
+  std::int64_t registrations = 0;
+  std::vector<std::vector<int>> edge_bucket(
+      static_cast<std::size_t>(p.num_global_edges()));
+  std::vector<std::vector<int>> demand_bucket(
+      static_cast<std::size_t>(p.num_demands()));
+  for (InstanceId i : members) {
+    const DemandInstance& inst = p.instance(i);
+    registrations += 1 + static_cast<std::int64_t>(inst.edges.size());
+    demand_bucket[static_cast<std::size_t>(inst.demand)].push_back(i);
+    for (EdgeId e : inst.edges)
+      edge_bucket[static_cast<std::size_t>(e)].push_back(i);
+  }
+  std::int64_t replies = 0;
+  std::int64_t reply_bytes = 0;
+  const auto account = [&](const std::vector<int>& bucket) {
+    if (bucket.size() < 2) return;
+    const std::int64_t b = static_cast<std::int64_t>(bucket.size());
+    const std::int64_t runs = static_cast<std::int64_t>(
+        interval_digest({bucket.data(), bucket.size()}).size() / 2);
+    replies += b;
+    reply_bytes += b * (16 + 16 * runs);
+  };
+  for (const auto& bucket : edge_bucket) account(bucket);
+  for (const auto& bucket : demand_bucket) account(bucket);
+
+  EXPECT_EQ(hood.rounds, 2);
+  EXPECT_EQ(hood.messages, registrations + replies);
+  EXPECT_EQ(hood.bytes, registrations * 16 + reply_bytes);
+  // The runtime's counters carry exactly what discovery reported.
+  EXPECT_EQ(rt.messages_sent(), hood.messages);
+  EXPECT_EQ(rt.bytes_sent(), hood.bytes);
+  EXPECT_EQ(rt.round(), hood.rounds);
+}
+
+TEST(Discovery, IntervalDigestRoundTripsAndCompresses) {
+  // Digest form: maximal consecutive runs as flat {lo, hi} pairs.
+  const std::vector<int> scattered{1, 3, 5, 9};
+  EXPECT_EQ(interval_digest({scattered.data(), scattered.size()}),
+            (std::vector<double>{1, 1, 3, 3, 5, 5, 9, 9}));
+  const std::vector<int> runs{0, 1, 2, 3, 7, 8, 12};
+  EXPECT_EQ(interval_digest({runs.data(), runs.size()}),
+            (std::vector<double>{0, 3, 7, 8, 12, 12}));
+  EXPECT_TRUE(interval_digest({runs.data(), 0}).empty());
+}
+
+TEST(Discovery, DigestRepliesCutBytesOnLineWindows) {
+  // Line-with-windows problems place each demand's instances on
+  // consecutive ids, so hot-edge buckets compress to a handful of runs;
+  // the reply traffic must come in well below the raw quadratic
+  // sum |B| * (|B| - 1) form the pre-digest protocol paid.
+  const Problem p = small_line_problem(3, 48, 2, 10, HeightLaw::kUnit,
+                                       /*window_slack=*/5.0);
+  const auto members = all_instances(p);
+  const RendezvousLayout layout =
+      RendezvousLayout::for_problem(p, static_cast<int>(members.size()));
+  Runtime rt(layout.total);
+  const DiscoveredNeighborhoods hood =
+      discover_conflicts(p, {members.data(), members.size()}, rt);
+
   std::int64_t registrations = 0;
   std::vector<std::int64_t> edge_bucket(
       static_cast<std::size_t>(p.num_global_edges()), 0);
@@ -89,18 +150,15 @@ TEST(Discovery, AccountingMatchesClosedForm) {
     ++demand_bucket[static_cast<std::size_t>(inst.demand)];
     for (EdgeId e : inst.edges) ++edge_bucket[static_cast<std::size_t>(e)];
   }
-  std::int64_t replies = 0;
+  std::int64_t raw_reply_bytes = 0;
   for (std::int64_t b : edge_bucket)
-    if (b >= 2) replies += b;
+    if (b >= 2) raw_reply_bytes += b * (16 + 8 * (b - 1));
   for (std::int64_t b : demand_bucket)
-    if (b >= 2) replies += b;
+    if (b >= 2) raw_reply_bytes += b * (16 + 8 * (b - 1));
+  const std::int64_t digest_reply_bytes = hood.bytes - registrations * 16;
 
-  EXPECT_EQ(hood.rounds, 2);
-  EXPECT_EQ(hood.messages, registrations + replies);
-  // The runtime's counters carry exactly what discovery reported.
-  EXPECT_EQ(rt.messages_sent(), hood.messages);
-  EXPECT_EQ(rt.bytes_sent(), hood.bytes);
-  EXPECT_EQ(rt.round(), hood.rounds);
+  EXPECT_LT(digest_reply_bytes, raw_reply_bytes / 4)
+      << "digest replies should collapse the quadratic bucket lists";
 }
 
 // Central replay of a protocol raise stack: applies the same raises, in

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff BENCH_*.json series against committed baselines.
+
+Every bench binary emits a BENCH_<id>.json array of flat records (see
+benchutil::emit_json).  This tool joins each current series against the
+committed baseline in bench/baselines/ and enforces:
+
+  * deterministic complexity metrics (rounds, steps, epochs, raises) may
+    not regress by more than --tolerance (default 10%) on any row;
+  * quality metrics (ratio: achieved vs certified bound, >= 1, lower is
+    better) may not worsen by more than --tolerance;
+  * timing metrics (wall_ms, steps_per_sec, *_ns) are reported but never
+    gate — wall clock is machine-dependent, round counts are not;
+  * series shape (row count, join keys) must match exactly: a silently
+    shrunken series would otherwise look like a perf win.
+
+Rows are joined on their non-metric fields (everything that is not a
+known metric), so reordering rows is fine but dropping or re-keying them
+is an error.
+
+Usage:
+  tools/perf_trajectory.py --baseline-dir bench/baselines --current-dir build
+Exit status 0 = no gating regressions, 1 = regression or shape mismatch.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Metrics gated with the tolerance (higher = worse).
+GATED_UP = ("rounds", "steps", "epochs", "raises", "ratio")
+# Metrics reported but never gating.
+INFORMATIONAL = ("wall_ms", "steps_per_sec", "profit", "speedup", "ns",
+                 "time_ms")
+
+
+def classify(field):
+    if field in GATED_UP:
+        return "gated"
+    if field in INFORMATIONAL or field.endswith("_ms") or field.endswith(
+            "_ns") or field.endswith("_per_sec"):
+        return "info"
+    return "key"
+
+
+def row_key(row):
+    return tuple(sorted((k, v) for k, v in row.items()
+                        if classify(k) == "key"))
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array")
+    return data
+
+
+def check_series(name, baseline, current, tolerance):
+    failures = []
+    notes = []
+    if len(current) != len(baseline):
+        failures.append(f"{name}: series shape changed — {len(baseline)} "
+                        f"baseline rows vs {len(current)} current rows")
+    base_rows = {}
+    for row in baseline:
+        key = row_key(row)
+        if key in base_rows:
+            failures.append(f"{name}: duplicate baseline key {key}")
+        base_rows[key] = row
+    seen = set()
+    for row in current:
+        key = row_key(row)
+        if key not in base_rows:
+            failures.append(f"{name}: current row {dict(key)} has no "
+                            f"baseline counterpart")
+            continue
+        seen.add(key)
+        base = base_rows[key]
+        for field, value in row.items():
+            kind = classify(field)
+            if kind == "key":
+                continue
+            if field not in base:
+                # A gated metric the baseline lacks cannot be checked at
+                # all — that is a shape error, not a pass.
+                if kind == "gated":
+                    failures.append(f"{name}: gated metric '{field}' absent "
+                                    f"from baseline at {dict(key)} — "
+                                    f"regenerate the baseline")
+                continue
+            ref = base[field]
+            if ref is None or value is None:
+                continue
+            if kind == "gated":
+                limit = ref * (1.0 + tolerance) + 1e-9
+                if value > limit:
+                    failures.append(
+                        f"{name}: {field} regressed {ref:g} -> {value:g} "
+                        f"(> {100 * tolerance:.0f}%) at {dict(key)}")
+            elif kind == "info" and ref > 0 and value > 0:
+                rel = value / ref
+                if rel > 2.0 or rel < 0.5:
+                    notes.append(
+                        f"{name}: {field} moved {ref:g} -> {value:g} "
+                        f"({rel:.2f}x, informational) at {dict(key)}")
+    missing = set(base_rows) - seen
+    for key in sorted(missing):
+        failures.append(f"{name}: baseline row {dict(key)} missing from "
+                        f"current run")
+    return failures, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default="build")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative regression on gated metrics")
+    args = parser.parse_args()
+
+    baselines = sorted(f for f in os.listdir(args.baseline_dir)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    all_failures = []
+    for fname in baselines:
+        base_path = os.path.join(args.baseline_dir, fname)
+        cur_path = os.path.join(args.current_dir, fname)
+        if not os.path.exists(cur_path):
+            all_failures.append(f"{fname}: not produced by the current run "
+                                f"(expected {cur_path})")
+            continue
+        failures, notes = check_series(fname, load(base_path),
+                                       load(cur_path), args.tolerance)
+        for note in notes:
+            print(f"  note: {note}")
+        if failures:
+            all_failures.extend(failures)
+        else:
+            print(f"  ok: {fname} within {100 * args.tolerance:.0f}% on all "
+                  f"gated metrics")
+
+    if all_failures:
+        print("\nPERF TRAJECTORY REGRESSIONS:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf trajectory: all series within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
