@@ -32,6 +32,7 @@ int main() {
 
   const double eps = 0.1;
   std::vector<JsonRecord> runs;
+  std::vector<double> ra_opt(13, 0.0);  // random-attachment exact optima
 
   // Small workloads with exact optimum, per tree shape.
   Table small("T3a  small workloads (n=20, m=9, exact OPT, 12 seeds/shape)");
@@ -44,6 +45,8 @@ int main() {
     for (std::uint64_t seed = 1; seed <= 12; ++seed) {
       const Problem p = make(seed, shape, /*large=*/false);
       const ExactResult exact = solve_exact(p);
+      if (shape == TreeShape::kRandomAttachment)
+        ra_opt[static_cast<std::size_t>(seed)] = exact.profit;
       DistOptions options;
       options.epsilon = eps;
       options.seed = seed;
@@ -118,6 +121,39 @@ int main() {
                     {"rounds", static_cast<double>(a.stats.comm_rounds)}});
   }
   large.print(std::cout);
+
+  // Message-level arm: Theorem 5.3 on the wire (random-attachment trees,
+  // ideal decomposition), against the modeled rounds of the same runs.
+  Table wire("T3c  message-level protocol (n=20, m=9, 6 seeds)");
+  wire.set_header({"seed", "ratio", "modeled-rounds", "wire-rounds",
+                   "wire-messages", "mis_ok", "sched_ok"});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Problem p = make(seed, TreeShape::kRandomAttachment,
+                           /*large=*/false);
+    DistOptions moptions;
+    moptions.epsilon = eps;
+    moptions.seed = seed;
+    const DistResult m = solve_tree_unit_distributed(p, moptions);
+    ProtocolOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    const ProtocolDistResult w = run_tree_unit_protocol(p, options);
+    const double w_ratio = ratio(ra_opt[static_cast<std::size_t>(seed)],
+                                 checked_profit(p, w.run.solution));
+    wire.add_row({std::to_string(seed), fmt(w_ratio, 3),
+                  std::to_string(m.stats.comm_rounds),
+                  std::to_string(w.run.rounds),
+                  std::to_string(w.run.messages),
+                  w.run.mis_ok ? "1" : "0", w.run.schedule_ok ? "1" : "0"});
+    JsonRecord row{{"workload", 2.0},
+                   {"seed", static_cast<double>(seed)},
+                   {"protocol_ratio", w_ratio},
+                   {"modeled_rounds",
+                    static_cast<double>(m.stats.comm_rounds)}};
+    append_protocol_fields(row, w.run);
+    runs.push_back(std::move(row));
+  }
+  wire.print(std::cout);
   emit_json("t3_tree_unit", runs);
 
   std::printf("\nexpected shape: distributed mean ratio ~1.1-1.6 (bound "

@@ -1,0 +1,148 @@
+// T6 — the message-level protocol stack vs the modeled engine: what the
+// real wire costs.  The modeled schedulers charge 2 rounds per Luby
+// iteration *actually run* plus 1 propagation round per step; the fixed
+// protocol schedule spends its full (epochs x stages x steps) budget of
+// tuples at 2*luby_budget + 1 rounds each, plus the phase-2 replay and
+// the 2 discovery rounds — the price of no processor ever testing a
+// global condition.  This bench regenerates that gap for the Section 6
+// two-pass wide/narrow schedule (trees and lines) and the non-uniform
+// run, and records the per-pass budgets, the discovery byte breakdown
+// and the budget-sufficiency flags; the committed baseline puts all of
+// it under the perf-trajectory gate.
+#include "bench_util.hpp"
+#include "capacity/nonuniform.hpp"
+#include "dist/scheduler.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+namespace {
+
+Problem make_tree(std::uint64_t seed, HeightLaw heights, CapacityLaw caps,
+                  double spread) {
+  TreeScenarioSpec spec;
+  spec.num_vertices = 24;
+  spec.num_networks = 2;
+  spec.demands.num_demands = 11;
+  spec.demands.heights = heights;
+  spec.demands.height_min = 0.4;
+  spec.demands.profit_max = 100.0;
+  spec.capacities = caps;
+  spec.capacity_spread = spread;
+  spec.seed = seed;
+  return make_tree_problem(spec);
+}
+
+Problem make_line(std::uint64_t seed) {
+  LineScenarioSpec spec;
+  spec.line.num_slots = 24;
+  spec.line.num_resources = 2;
+  spec.line.num_demands = 8;
+  spec.line.max_proc_time = 8;
+  spec.line.window_slack = 1.8;
+  spec.line.heights = HeightLaw::kBimodal;
+  spec.line.height_min = 0.4;
+  spec.line.profit_max = 100.0;
+  spec.seed = seed;
+  return make_line_problem(spec);
+}
+
+}  // namespace
+
+int main() {
+  print_claim("T6  message-level protocol vs modeled engine",
+              "the fixed wire schedule spends discovery + sum_pass "
+              "tuples*(2L+1) + tuples rounds; the modeled run only counts "
+              "iterations actually used — the gap is the price of "
+              "fixed-up-front schedules (Section 5/6)");
+
+  const double eps = 0.3;
+  std::vector<JsonRecord> runs;
+
+  Table table("T6  wire vs model (eps=0.3, h_min=0.4; 4 seeds per arm)");
+  table.set_header({"arm", "seed", "passes", "modeled-rounds", "wire-rounds",
+                    "wire/model", "wire-bytes", "reply-bytes", "ratio",
+                    "sched_ok"});
+
+  const auto record = [&](const char* arm, double arm_id, std::uint64_t seed,
+                          const Problem& p, const DistResult& modeled,
+                          const ProtocolDistResult& wire) {
+    const ExactResult exact = solve_exact(p);
+    const double w_ratio =
+        ratio(exact.profit, checked_profit(p, wire.run.solution));
+    checked_profit(p, modeled.solution);
+    const double blowup =
+        modeled.stats.comm_rounds > 0
+            ? static_cast<double>(wire.run.rounds) /
+                  static_cast<double>(modeled.stats.comm_rounds)
+            : 0.0;
+    table.add_row({arm, std::to_string(seed),
+                   std::to_string(wire.run.passes.size()),
+                   std::to_string(modeled.stats.comm_rounds),
+                   std::to_string(wire.run.rounds), fmt(blowup, 1),
+                   std::to_string(wire.run.bytes),
+                   std::to_string(wire.run.discovery_reply_bytes),
+                   fmt(w_ratio, 3), wire.run.schedule_ok ? "1" : "0"});
+    JsonRecord row{{"arm", arm_id},
+                   {"seed", static_cast<double>(seed)},
+                   {"protocol_ratio", w_ratio},
+                   {"modeled_rounds",
+                    static_cast<double>(modeled.stats.comm_rounds)}};
+    append_protocol_fields(row, wire.run);
+    runs.push_back(std::move(row));
+  };
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Problem p = make_tree(seed + 10, HeightLaw::kBimodal,
+                                CapacityLaw::kUniform, 1.0);
+    DistOptions moptions;
+    moptions.epsilon = eps;
+    moptions.seed = seed;
+    ProtocolOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    record("tree wide/narrow", 0.0, seed, p,
+           solve_tree_arbitrary_distributed(p, moptions),
+           run_tree_arbitrary_protocol(p, options));
+  }
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Problem p = make_line(seed + 20);
+    DistOptions moptions;
+    moptions.epsilon = eps;
+    moptions.seed = seed;
+    ProtocolOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    record("line wide/narrow", 1.0, seed, p,
+           solve_line_arbitrary_distributed(p, moptions),
+           run_line_arbitrary_protocol(p, options));
+  }
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Problem p = make_tree(seed + 30, HeightLaw::kUnit,
+                                CapacityLaw::kTwoClass, 4.0);
+    NonuniformOptions moptions;
+    moptions.dist.epsilon = eps;
+    moptions.dist.seed = seed;
+    const NonuniformResult m = solve_nonuniform_unit(p, moptions);
+    DistResult modeled;
+    modeled.solution = m.solution;
+    modeled.stats = m.stats;
+    ProtocolOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    record("nonuniform unit", 2.0, seed, p, modeled,
+           run_nonuniform_protocol(p, options));
+  }
+  table.print(std::cout);
+  emit_json("t6_protocol_wire", runs);
+
+  std::printf("\nexpected shape: wire rounds 10^2-10^4x the modeled count — "
+              "the modeled run is adaptive (it stops when a stage is "
+              "satisfied) while the wire spends its full fixed budget, so "
+              "idle tuples at 2L+1 rounds each dominate; the narrow pass's "
+              "stage count is the driver on the split arms; every "
+              "sched_ok = 1 — the Lemma 5.1 budgets suffice on every "
+              "seed.\n");
+  return 0;
+}

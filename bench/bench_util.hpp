@@ -15,6 +15,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "dist/protocol_scheduler.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "model/problem.hpp"
 #include "model/solution.hpp"
@@ -103,6 +104,24 @@ inline double time_kernel_ns(Fn&& fn, int min_iters = 3,
     seconds = std::chrono::duration<double>(clock::now() - start).count();
   } while (seconds < min_seconds);
   return seconds * 1e9 / static_cast<double>(iters);
+}
+
+// Appends the standard message-level protocol fields to a JSON record:
+// the wire counters with the discovery byte breakdown, plus the budget
+// sufficiency flags.  mis_ok/schedule_ok are emitted as 0/1 and join the
+// row *key* in tools/perf_trajectory.py, so a run whose fixed budgets
+// silently stopped sufficing re-keys its rows and fails the perf gate.
+inline void append_protocol_fields(JsonRecord& row,
+                                   const ProtocolRunResult& run) {
+  row.emplace_back("protocol_rounds", static_cast<double>(run.rounds));
+  row.emplace_back("protocol_messages", static_cast<double>(run.messages));
+  row.emplace_back("protocol_bytes", static_cast<double>(run.bytes));
+  row.emplace_back("discovery_bytes",
+                   static_cast<double>(run.discovery_bytes));
+  row.emplace_back("discovery_reply_bytes",
+                   static_cast<double>(run.discovery_reply_bytes));
+  row.emplace_back("mis_ok", run.mis_ok ? 1.0 : 0.0);
+  row.emplace_back("schedule_ok", run.schedule_ok ? 1.0 : 0.0);
 }
 
 // Aggregates per-seed ratio/round measurements into one table row.

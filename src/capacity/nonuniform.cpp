@@ -81,9 +81,7 @@ NonuniformResult solve_impl(const Problem& problem,
   result.profit = result.solution.profit(problem);
   result.stats.profit = result.profit;
 
-  const double lambda = opt.dist.stage_mode == StageMode::kMultiStage
-                            ? 1.0 - opt.dist.epsilon
-                            : 1.0 / (5.0 + opt.dist.epsilon);
+  const double lambda = target_lambda(opt.dist.stage_mode, opt.dist.epsilon);
   result.ratio_bound =
       proven_ratio_bound(rule, result.stats.delta, lambda) *
       result.path_spread;

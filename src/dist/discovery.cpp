@@ -81,6 +81,8 @@ DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
       rt.post(Message{v, edge_owner, kTagRegister, {}});
     }
   }
+  result.registration_messages = rt.messages_sent() - messages_before;
+  result.registration_bytes = rt.bytes_sent() - bytes_before;
   rt.step();
 
   // Round 2: every owner replies to each registrant with the interval
@@ -131,6 +133,8 @@ DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
   result.rounds = rt.round() - rounds_before;
   result.messages = rt.messages_sent() - messages_before;
   result.bytes = rt.bytes_sent() - bytes_before;
+  result.reply_messages = result.messages - result.registration_messages;
+  result.reply_bytes = result.bytes - result.registration_bytes;
   return result;
 }
 

@@ -73,13 +73,25 @@ struct RendezvousLayout {
 };
 
 // Conflict neighborhoods discovered by the rendezvous rounds, plus the
-// exact communication the discovery charged to the runtime.
+// exact communication the discovery charged to the runtime.  The totals
+// split exactly into the two legs of the rendezvous: the round-1
+// registrations (one header-only message per (member, resource)) and the
+// round-2 digest replies — surfacing the split lets the benches and the
+// perf-trajectory gate watch the two legs independently (the digest
+// optimization only moves reply bytes; a registration regression is a
+// different bug).
 struct DiscoveredNeighborhoods {
   // neighbors[v]: sorted member indexes conflicting with members[v].
   std::vector<std::vector<int>> neighbors;
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t bytes = 0;
+  // Breakdown: messages == registration_messages + reply_messages and
+  // bytes == registration_bytes + reply_bytes, exactly.
+  std::int64_t registration_messages = 0;
+  std::int64_t registration_bytes = 0;
+  std::int64_t reply_messages = 0;
+  std::int64_t reply_bytes = 0;
 
   std::int64_t num_edges() const;
   int max_degree() const;

@@ -1,11 +1,26 @@
 #include "dist/luby_mis.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dist/discovery.hpp"
 #include "dist/runtime.hpp"
 
 namespace treesched {
+
+std::vector<Rng> make_node_streams(std::uint64_t seed, int count) {
+  SplitMix64 expand(seed);
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int v = 0; v < count; ++v) streams.emplace_back(expand.next());
+  return streams;
+}
+
+int default_luby_budget(int n) {
+  return 2 * static_cast<int>(std::ceil(std::log2(
+             static_cast<double>(std::max(n, 2))))) +
+         2;
+}
 
 // ---------------------------------------------------------------------------
 // Message-level protocol on the synchronous runtime.
@@ -82,10 +97,7 @@ ProtocolResult run_luby_protocol(const Problem& problem,
   // Per-node private random stream: SplitMix64 expands the seed so node
   // draws are independent of the iteration order, mirroring processors
   // drawing locally.
-  SplitMix64 expand(seed);
-  std::vector<Rng> node_rng;
-  node_rng.reserve(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) node_rng.emplace_back(expand.next());
+  std::vector<Rng> node_rng = make_node_streams(seed, n);
 
   std::vector<int> nodes(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) nodes[static_cast<std::size_t>(v)] = v;
@@ -204,6 +216,127 @@ MisResult LubyMis::run(std::span<const InstanceId> candidates) {
   // The paper's accounting: 2 synchronous rounds per Luby iteration
   // (draw exchange + winner notification).
   result.rounds = 2 * std::max(iterations, 1);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolLubyMis: the protocol scheduler's budgeted per-node Luby loop
+// as a modeled oracle (see header).
+
+ProtocolLubyMis::ProtocolLubyMis(const Problem& problem, std::uint64_t seed,
+                                 int luby_budget)
+    : ProtocolLubyMis(problem,
+                      std::make_shared<std::vector<Rng>>(make_node_streams(
+                          seed, problem.num_instances())),
+                      luby_budget > 0
+                          ? luby_budget
+                          : default_luby_budget(problem.num_instances())) {}
+
+ProtocolLubyMis::ProtocolLubyMis(const Problem& problem,
+                                 std::shared_ptr<std::vector<Rng>> streams,
+                                 int luby_budget)
+    : problem_(&problem),
+      budget_(luby_budget),
+      streams_(std::move(streams)),
+      edge_min_(static_cast<std::size_t>(problem.num_global_edges())),
+      demand_min_(static_cast<std::size_t>(problem.num_demands())),
+      edge_stamp_(static_cast<std::size_t>(problem.num_global_edges()), 0),
+      demand_stamp_(static_cast<std::size_t>(problem.num_demands()), 0),
+      edge_kill_(static_cast<std::size_t>(problem.num_global_edges()), 0),
+      demand_kill_(static_cast<std::size_t>(problem.num_demands()), 0) {
+  TS_REQUIRE(budget_ >= 1);
+  TS_REQUIRE(streams_ != nullptr &&
+             streams_->size() ==
+                 static_cast<std::size_t>(problem.num_instances()));
+}
+
+std::unique_ptr<MisOracle> ProtocolLubyMis::component_clone(
+    std::uint64_t key) {
+  // The clone *shares* the per-instance streams: randomness is addressed
+  // by instance, not by oracle, so running a conflict-disjoint component
+  // on a worker consumes exactly the draws the serial run would — the
+  // parallel engine stays bit-identical to the serial one.  `key` is
+  // deliberately unused for stream derivation.
+  (void)key;
+  return std::unique_ptr<MisOracle>(
+      new ProtocolLubyMis(*problem_, streams_, budget_));
+}
+
+MisResult ProtocolLubyMis::run(std::span<const InstanceId> candidates) {
+  MisResult result;
+  // The fixed protocol schedule: every MIS computation spends exactly
+  // budget_ iterations of 2 rounds each, decided nodes sitting the
+  // remainder out in silence.
+  result.rounds = 2 * budget_;
+
+  std::vector<InstanceId> live(candidates.begin(), candidates.end());
+  std::vector<double> draw(live.size(), 0.0);
+  std::vector<InstanceId> next;
+  std::vector<Rng>& streams = *streams_;
+
+  for (int iter = 0; iter < budget_ && !live.empty(); ++iter) {
+    ++stamp_;
+
+    // Each live node draws from its own stream (the protocol's round 1),
+    // then the clique minima of (draw, id) are computed over the live
+    // set — an instance wins iff it is the strict minimum of every
+    // clique it belongs to, i.e. beats every live conflicting neighbor.
+    for (std::size_t k = 0; k < live.size(); ++k)
+      draw[k] = streams[static_cast<std::size_t>(live[k])].uniform();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const Key key{draw[k], live[k]};
+      const DemandInstance& inst = problem_->instance(live[k]);
+      const auto d = static_cast<std::size_t>(inst.demand);
+      if (demand_stamp_[d] != stamp_ || key < demand_min_[d]) {
+        demand_stamp_[d] = stamp_;
+        demand_min_[d] = key;
+      }
+      for (EdgeId e : inst.edges) {
+        const auto ge = static_cast<std::size_t>(e);
+        if (edge_stamp_[ge] != stamp_ || key < edge_min_[ge]) {
+          edge_stamp_[ge] = stamp_;
+          edge_min_[ge] = key;
+        }
+      }
+    }
+
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const Key key{draw[k], live[k]};
+      const DemandInstance& inst = problem_->instance(live[k]);
+      if (!(demand_min_[static_cast<std::size_t>(inst.demand)] == key))
+        continue;
+      bool wins = true;
+      for (EdgeId e : inst.edges) {
+        if (!(edge_min_[static_cast<std::size_t>(e)] == key)) {
+          wins = false;
+          break;
+        }
+      }
+      if (!wins) continue;
+      result.selected.push_back(live[k]);
+      demand_kill_[static_cast<std::size_t>(inst.demand)] = stamp_;
+      for (EdgeId e : inst.edges)
+        edge_kill_[static_cast<std::size_t>(e)] = stamp_;
+    }
+
+    next.clear();
+    for (InstanceId i : live) {
+      const DemandInstance& inst = problem_->instance(i);
+      bool dead =
+          demand_kill_[static_cast<std::size_t>(inst.demand)] == stamp_;
+      for (EdgeId e : inst.edges) {
+        if (dead) break;
+        dead = edge_kill_[static_cast<std::size_t>(e)] == stamp_;
+      }
+      if (!dead) next.push_back(i);
+    }
+    live.swap(next);
+    draw.resize(live.size());
+  }
+
+  // The protocol sorts a step's accumulated winners before raising;
+  // undecided leftovers (budget exhausted) are simply not selected.
+  std::sort(result.selected.begin(), result.selected.end());
   return result;
 }
 

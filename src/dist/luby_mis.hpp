@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,20 @@ namespace treesched {
 // Message tags of the Luby protocol rounds.
 inline constexpr int kLubyTagDraw = 0;    // payload: {draw value}
 inline constexpr int kLubyTagWinner = 1;  // payload: {}
+
+// Per-processor private random streams: SplitMix64 expands one seed into
+// `count` independent Rng streams, one per node, so a node's draws do not
+// depend on the order anyone iterates the nodes in.  The message-level
+// protocol and its modeled twin (ProtocolLubyMis below) both build their
+// streams through this one helper, which is what makes their Luby
+// decisions — and hence the protocol-vs-engine parity suite's exact
+// comparisons — reproducible from the seed alone.
+std::vector<Rng> make_node_streams(std::uint64_t seed, int count);
+
+// The protocol scheduler's default Luby iteration budget: 2*ceil(log2 n)
+// + 2 iterations decide every node w.h.p. (Luby's analysis).  Exposed so
+// the modeled mirror oracle and the tests derive the same number.
+int default_luby_budget(int n);
 
 // Outcome of a message-level Luby run: selected member indexes plus the
 // Runtime's accounting, with the discovery share broken out (totals
@@ -113,6 +128,70 @@ class LubyMis : public MisOracle {
   std::vector<Key> edge_min_, demand_min_;
   std::vector<int> edge_stamp_, demand_stamp_;
   std::vector<int> edge_kill_, demand_kill_;  // stamped when a winner uses it
+  int stamp_ = 0;
+};
+
+// The modeled twin of the protocol scheduler's budgeted Luby loop: a
+// MisOracle whose decisions are bit-identical to what the message-level
+// protocol computes on the wire.  Three properties make that exact:
+//
+//  * draws come from *per-instance* streams (make_node_streams), exactly
+//    the streams the protocol's runtime nodes hold — so a draw depends
+//    only on (seed, instance, how often that instance has drawn), never
+//    on iteration order;
+//  * each run() spends exactly `luby_budget` iterations (stopping early
+//    only once every candidate has decided, which consumes no further
+//    draws — undecided leftovers are simply not selected, mirroring the
+//    protocol's fixed schedule);
+//  * the winner rule is the per-clique strict minimum of (draw, id),
+//    which equals "my key beats every live conflicting neighbor's" on
+//    the discovered neighborhoods.
+//
+// Feeding this oracle to the two-phase engine in lockstep mode replays
+// the protocol's entire raise sequence, which is what the protocol
+// parity suite (tests/test_protocol_parity.cpp) compares with ==.
+//
+// Because the randomness is per instance, component_clone can hand each
+// parallel-epoch worker a view onto the *same* shared streams (disjoint
+// components touch disjoint instances): unlike LubyMis, the parallel
+// engine run is bit-identical to the serial one, for any thread count.
+class ProtocolLubyMis : public MisOracle {
+ public:
+  // `luby_budget` <= 0 derives default_luby_budget(num_instances).
+  ProtocolLubyMis(const Problem& problem, std::uint64_t seed,
+                  int luby_budget = 0);
+
+  MisResult run(std::span<const InstanceId> candidates) override;
+
+  bool supports_component_clone() const override { return true; }
+  std::unique_ptr<MisOracle> component_clone(std::uint64_t key) override;
+
+  int luby_budget() const { return budget_; }
+
+ private:
+  struct Key {
+    double value = 0.0;
+    InstanceId id = kNoInstance;
+    bool operator<(const Key& o) const {
+      return value < o.value || (value == o.value && id < o.id);
+    }
+    bool operator==(const Key& o) const {
+      return value == o.value && id == o.id;
+    }
+  };
+
+  ProtocolLubyMis(const Problem& problem,
+                  std::shared_ptr<std::vector<Rng>> streams, int luby_budget);
+
+  const Problem* problem_;
+  int budget_ = 1;
+  // Shared with component clones: components of one epoch are disjoint
+  // instance sets, so concurrent clones touch disjoint streams.
+  std::shared_ptr<std::vector<Rng>> streams_;
+  // Per-oracle scratch (clique minima over the live set, stamped).
+  std::vector<Key> edge_min_, demand_min_;
+  std::vector<int> edge_stamp_, demand_stamp_;
+  std::vector<int> edge_kill_, demand_kill_;
   int stamp_ = 0;
 };
 

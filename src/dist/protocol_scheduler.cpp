@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "dist/discovery.hpp"
 #include "dist/luby_mis.hpp"
 #include "dist/runtime.hpp"
 #include "framework/dual_shard.hpp"
-#include "framework/raise_rule.hpp"
 #include "framework/two_phase.hpp"
 
 namespace treesched {
@@ -20,58 +20,72 @@ namespace {
 constexpr int kTagRaise = 2;  // payload: encode_raise() wire format
 constexpr int kTagKeep = 3;   // phase 2: {}
 
-}  // namespace
-
-ProtocolRunResult run_distributed_protocol(const Problem& problem,
-                                           const LayeredPlan& plan,
-                                           const ProtocolOptions& options) {
-  TS_REQUIRE(problem.finalized());
-  TS_REQUIRE(plan.group.size() ==
-             static_cast<std::size_t>(problem.num_instances()));
-  TS_REQUIRE(options.epsilon > 0.0 && options.epsilon < 1.0);
-
-  const int n = problem.num_instances();
-  ProtocolRunResult result;
-
-  // One runtime node per instance plus the rendezvous owner nodes.  The
-  // conflict neighborhoods are *discovered*, not built: the 2-round
-  // edge-owner rendezvous replaces the global ConflictGraph and is
-  // charged to the same counters as every other protocol round.
-  std::vector<InstanceId> all(static_cast<std::size_t>(n));
-  for (InstanceId i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
-  const RendezvousLayout layout = RendezvousLayout::for_problem(problem, n);
-  Runtime rt(std::max(layout.total, 1));
-  const DiscoveredNeighborhoods hood =
-      discover_conflicts(problem, {all.data(), all.size()}, rt);
-  result.discovery_rounds = hood.rounds;
-  result.discovery_messages = hood.messages;
-  result.discovery_bytes = hood.bytes;
-  const std::span<const std::vector<int>> neighbors{hood.neighbors.data(),
-                                                    hood.neighbors.size()};
-
-  // The fixed schedule, derived from globally known quantities only.
-  result.epochs = plan.num_groups;
-  const double xi =
-      RaiseRule::default_xi(RaiseRuleKind::kUnit, plan.delta, 1.0);
-  result.stages_per_epoch = std::max(
-      1, static_cast<int>(std::ceil(std::log(options.epsilon) / std::log(xi))));
-  result.steps_per_stage = lockstep_step_budget(problem, options.lockstep_slack);
-  result.luby_budget =
-      options.luby_budget > 0
-          ? options.luby_budget
-          : 2 * static_cast<int>(std::ceil(std::log2(
-                    static_cast<double>(std::max(n, 2))))) +
-                2;
-
-  // Per-processor private random streams.
-  SplitMix64 expand(options.seed);
+// State shared by the passes of one protocol run: the runtime, the
+// discovered neighborhoods, and the per-processor random streams.  The
+// streams persist across passes (a processor owns one stream for the
+// whole computation); the dual shards do not — each pass raises a fresh
+// dual system, exactly as each restricted run of the modeled height
+// split does.
+struct ProtocolState {
+  int n = 0;
+  Runtime rt;
+  DiscoveredNeighborhoods hood;
   std::vector<Rng> node_rng;
-  node_rng.reserve(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) node_rng.emplace_back(expand.next());
+  std::vector<char> live;
+  std::vector<double> draw;
 
-  // Per-processor dual shards: processor i stores alpha of its demand and
-  // beta of its own path edges, nothing else.
-  const RaiseRule rule(RaiseRuleKind::kUnit, problem);
+  ProtocolState(const Problem& problem, const ProtocolOptions& options)
+      : n(problem.num_instances()),
+        rt(std::max(RendezvousLayout::for_problem(problem, n).total, 1)) {
+    // One runtime node per instance plus the rendezvous owner nodes.  The
+    // conflict neighborhoods are *discovered*, not built: the 2-round
+    // edge-owner rendezvous replaces the global ConflictGraph and is
+    // charged to the same counters as every other protocol round.
+    std::vector<InstanceId> all(static_cast<std::size_t>(n));
+    for (InstanceId i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    hood = discover_conflicts(problem, {all.data(), all.size()}, rt);
+    node_rng = make_node_streams(options.seed, n);
+    live.assign(static_cast<std::size_t>(std::max(n, 1)), 0);
+    draw.assign(static_cast<std::size_t>(std::max(n, 1)), 0.0);
+  }
+};
+
+// One pass: `kind` over the instances with active[i] != 0, on fresh
+// shards, under the pass's own fixed schedule.  Precondition: at least
+// one active instance (the caller skips empty classes).
+ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
+                      RaiseRuleKind kind, const std::vector<char>& active,
+                      const ProtocolOptions& options, int luby_budget,
+                      ProtocolState& st) {
+  const int n = st.n;
+  const std::span<const std::vector<int>> neighbors{st.hood.neighbors.data(),
+                                                    st.hood.neighbors.size()};
+  const std::int64_t rounds_before = st.rt.round();
+  const std::int64_t messages_before = st.rt.messages_sent();
+  const std::int64_t bytes_before = st.rt.bytes_sent();
+
+  ProtocolPass pass;
+  pass.rule = kind;
+  for (InstanceId i = 0; i < n; ++i)
+    if (active[static_cast<std::size_t>(i)]) ++pass.instances;
+
+  // The fixed schedule, shared derivation with the modeled engine:
+  // derive_stage_params is the same call TwoPhaseEngine::prepare makes
+  // for this rule and instance class.
+  const StageParams params = derive_stage_params(problem, plan, active, kind,
+                                                 options.epsilon);
+  TS_REQUIRE(params.any_active);
+  pass.epochs = plan.num_groups;
+  pass.delta = params.delta;
+  pass.h_min = params.h_min;
+  pass.xi = params.xi;
+  pass.stages_per_epoch = params.stages_per_epoch;
+  pass.steps_per_stage = lockstep_step_budget(problem, options.lockstep_slack);
+
+  // Per-processor dual shards, fresh for this pass: processor i stores
+  // alpha of its demand and beta of its own path edges, nothing else.
+  const RaiseRule rule(kind, problem, /*raise_alpha=*/true,
+                       options.capacity_aware_raises);
   std::vector<DualShard> shard;
   shard.reserve(static_cast<std::size_t>(n));
   for (InstanceId i = 0; i < n; ++i) {
@@ -83,16 +97,19 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
 
   const auto unsatisfied = [&](InstanceId i, double target) {
     // A purely local test: the shard holds every variable of i's
-    // constraint, kept current by the applied raise propagations.
+    // constraint, kept current by the applied raise propagations.  The
+    // ordered (ascending-edge) beta walk replays the central DualState's
+    // float operation order — the engine-parity suite compares with ==.
     const DemandInstance& inst = problem.instance(i);
-    return shard[static_cast<std::size_t>(i)].lhs(rule.beta_coeff(inst)) <
+    return shard[static_cast<std::size_t>(i)].lhs_ordered(
+               rule.beta_coeff(inst)) <
            target * inst.profit - kEps * inst.profit;
   };
   // Drains every member inbox, applying raise propagations to the local
   // shards (the one message type that may be in flight at step ends).
   const auto drain_and_apply = [&] {
     for (int v = 0; v < n; ++v) {
-      for (const Message& m : rt.drain(v)) {
+      for (const Message& m : st.rt.drain(v)) {
         TS_REQUIRE(m.tag == kTagRaise);
         shard[static_cast<std::size_t>(v)].apply_raise(
             {m.data.data(), m.data.size()});
@@ -101,48 +118,53 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
   };
 
   // ---- Phase 1: raise, one fixed-length tuple at a time -------------------
+  // The internal stack keeps one entry per tuple (idle tuples included)
+  // so phase 2 can replay the full fixed schedule; the *reported* stack
+  // strips the empty entries, matching the modeled engine's.
   std::vector<std::vector<InstanceId>> stack;
-  std::vector<char> live(static_cast<std::size_t>(std::max(n, 1)), 0);
-  std::vector<double> draw(static_cast<std::size_t>(std::max(n, 1)), 0.0);
   std::vector<double> increments;
 
   for (int g = 0; g < plan.num_groups; ++g) {
     const auto& members = plan.members[static_cast<std::size_t>(g)];
-    for (int j = 1; j <= result.stages_per_epoch; ++j) {
-      const double target = 1.0 - std::pow(xi, j);
-      for (int s = 0; s < result.steps_per_stage; ++s) {
-        // Participants: group members still below the stage target (a
-        // local test against the processor's own shard).
+    for (int j = 1; j <= pass.stages_per_epoch; ++j) {
+      const double target = 1.0 - std::pow(pass.xi, j);
+      for (int s = 0; s < pass.steps_per_stage; ++s) {
+        // Participants: the pass's group members still below the stage
+        // target (a local test against the processor's own shard).
         std::vector<int> participants;
         for (InstanceId i : members)
-          if (unsatisfied(i, target)) participants.push_back(i);
-        for (int v : participants) live[static_cast<std::size_t>(v)] = 1;
+          if (active[static_cast<std::size_t>(i)] && unsatisfied(i, target))
+            participants.push_back(i);
+        for (int v : participants) st.live[static_cast<std::size_t>(v)] = 1;
 
         // Luby MIS, exactly luby_budget iterations of 2 rounds each.
         // Decided processors sit out the remaining iterations in silence.
         std::vector<InstanceId> winners;
-        for (int iter = 0; iter < result.luby_budget; ++iter) {
+        for (int iter = 0; iter < luby_budget; ++iter) {
           const std::vector<int> won = luby_iteration(
-              neighbors, rt, participants, live, draw, node_rng);
+              neighbors, st.rt, participants, st.live, st.draw, st.node_rng);
           winners.insert(winners.end(), won.begin(), won.end());
         }
         for (int v : participants) {
-          if (live[static_cast<std::size_t>(v)]) {
-            result.mis_ok = false;  // budget exhausted with undecided nodes
-            live[static_cast<std::size_t>(v)] = 0;
+          if (st.live[static_cast<std::size_t>(v)]) {
+            pass.mis_ok = false;  // budget exhausted with undecided nodes
+            st.live[static_cast<std::size_t>(v)] = 0;
           }
         }
 
         // Dual-propagation round: every MIS member raises its own shard
         // tightly and ships the increments to all conflicting neighbors,
-        // which apply them on arrival.
+        // which apply them on arrival.  The increments are whatever
+        // tight_raise computed — capacity-normalized per edge when the
+        // rule is capacity-aware — so the wire format carries the
+        // non-uniform rules unchanged.
         std::sort(winners.begin(), winners.end());
         for (InstanceId i : winners) {
           const DemandInstance& inst = problem.instance(i);
           const auto& critical = plan.critical[static_cast<std::size_t>(i)];
           DualShard& mine = shard[static_cast<std::size_t>(i)];
           const double slack =
-              inst.profit - mine.lhs(rule.beta_coeff(inst));
+              inst.profit - mine.lhs_ordered(rule.beta_coeff(inst));
           // tight_raise is the same call the modeled engine makes — one
           // raise arithmetic for every implementation.
           const double amount =
@@ -154,22 +176,23 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
               inst.demand, amount, critical,
               {increments.data(), increments.size()});
           for (int u : neighbors[static_cast<std::size_t>(i)])
-            rt.post(Message{i, u, kTagRaise, payload});
+            st.rt.post(Message{i, u, kTagRaise, payload});
         }
-        rt.step();
+        st.rt.step();
         drain_and_apply();
         stack.push_back(std::move(winners));
       }
       // Lemma 5.1: the fixed step budget must have satisfied the stage.
       for (InstanceId i : members)
-        if (unsatisfied(i, target)) result.schedule_ok = false;
+        if (active[static_cast<std::size_t>(i)] && unsatisfied(i, target))
+          pass.schedule_ok = false;
     }
   }
 
   // ---- Phase 2: reverse replay, 1 keep/drop round per tuple ---------------
-  result.solution = prune_stack(problem, stack);
+  pass.solution = prune_stack(problem, stack);
   std::vector<char> kept(static_cast<std::size_t>(std::max(n, 1)), 0);
-  for (InstanceId i : result.solution.selected)
+  for (InstanceId i : pass.solution.selected)
     kept[static_cast<std::size_t>(i)] = 1;
   std::vector<char> announced(static_cast<std::size_t>(std::max(n, 1)), 0);
   for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
@@ -178,30 +201,157 @@ ProtocolRunResult run_distributed_protocol(const Problem& problem,
       if (announced[static_cast<std::size_t>(i)]) continue;
       announced[static_cast<std::size_t>(i)] = 1;
       for (int u : neighbors[static_cast<std::size_t>(i)])
-        rt.post(Message{i, u, kTagKeep, {}});
+        st.rt.post(Message{i, u, kTagKeep, {}});
     }
-    rt.step();
-    for (int v = 0; v < n; ++v) rt.drain(v);
+    st.rt.step();
+    for (int v = 0; v < n; ++v) st.rt.drain(v);
   }
 
-  result.rounds = rt.round();
-  result.messages = rt.messages_sent();
-  result.bytes = rt.bytes_sent();
-
   // Certification from the shards alone: every processor reports its own
-  // satisfaction level; lambda is the minimum.
-  result.final_lhs.resize(static_cast<std::size_t>(n));
+  // satisfaction level; lambda is the minimum over the pass members.
+  // final_lhs covers *all* instances — bystander shards applied the
+  // incoming raises too, so the whole vector equals a central DualState
+  // replay of the pass's stack.
+  pass.final_lhs.resize(static_cast<std::size_t>(n));
   double lambda = 1.0;
+  bool any = false;
   for (InstanceId i = 0; i < n; ++i) {
     const DemandInstance& inst = problem.instance(i);
     const double lhs =
-        shard[static_cast<std::size_t>(i)].lhs(rule.beta_coeff(inst));
-    result.final_lhs[static_cast<std::size_t>(i)] = lhs;
+        shard[static_cast<std::size_t>(i)].lhs_ordered(rule.beta_coeff(inst));
+    pass.final_lhs[static_cast<std::size_t>(i)] = lhs;
+    if (!active[static_cast<std::size_t>(i)]) continue;
     const double level = lhs / inst.profit;
-    lambda = i == 0 ? level : std::min(lambda, level);
+    lambda = any ? std::min(lambda, level) : level;
+    any = true;
   }
-  result.lambda_observed = n > 0 ? lambda : 1.0;
-  if (options.keep_stack) result.raise_stack = std::move(stack);
+  pass.lambda_observed = any ? lambda : 1.0;
+
+  pass.tuples = static_cast<std::int64_t>(pass.epochs) *
+                pass.stages_per_epoch * pass.steps_per_stage;
+  pass.rounds = st.rt.round() - rounds_before;
+  pass.messages = st.rt.messages_sent() - messages_before;
+  pass.bytes = st.rt.bytes_sent() - bytes_before;
+
+  if (options.keep_stack) {
+    pass.raise_stack.reserve(stack.size());
+    for (auto& step : stack)
+      if (!step.empty()) pass.raise_stack.push_back(std::move(step));
+  }
+  return pass;
+}
+
+void begin_run(const Problem& problem, const LayeredPlan& plan,
+               const ProtocolOptions& options) {
+  TS_REQUIRE(problem.finalized());
+  TS_REQUIRE(plan.group.size() ==
+             static_cast<std::size_t>(problem.num_instances()));
+  TS_REQUIRE(options.epsilon > 0.0 && options.epsilon < 1.0);
+}
+
+// The shared preamble of both entry points: the fixed schedule scalars
+// every pass shares, plus the discovery share of the accounting.
+ProtocolRunResult init_result(const Problem& problem, const LayeredPlan& plan,
+                              const ProtocolOptions& options,
+                              const ProtocolState& st) {
+  ProtocolRunResult result;
+  result.discovery_rounds = st.hood.rounds;
+  result.discovery_messages = st.hood.messages;
+  result.discovery_bytes = st.hood.bytes;
+  result.discovery_registration_bytes = st.hood.registration_bytes;
+  result.discovery_reply_bytes = st.hood.reply_bytes;
+  result.luby_budget = options.luby_budget > 0
+                           ? options.luby_budget
+                           : default_luby_budget(problem.num_instances());
+  result.epochs = plan.num_groups;
+  result.steps_per_stage =
+      lockstep_step_budget(problem, options.lockstep_slack);
+  return result;
+}
+
+// Mirrors a lone pass into the top-level convenience fields.
+void mirror_single_pass(ProtocolRunResult& result, bool keep_stack) {
+  const ProtocolPass& pass = result.passes.front();
+  result.stages_per_epoch = pass.stages_per_epoch;
+  result.solution = pass.solution;
+  result.final_lhs = pass.final_lhs;
+  if (keep_stack) result.raise_stack = pass.raise_stack;
+}
+
+void finish_run(ProtocolRunResult& result, const ProtocolState& st) {
+  result.rounds = st.rt.round();
+  result.messages = st.rt.messages_sent();
+  result.bytes = st.rt.bytes_sent();
+  // A pass's lambda_observed is always a real observed minimum (passes
+  // run on non-empty classes only), so — unlike SolveStats::merge, whose
+  // 0.0 means "no run contributed yet" — a 0.0 here is a genuine
+  // finding (some member never got raised) and must survive the merge:
+  // the theorem wrappers turn it into an infinite bound, never a false
+  // certificate.
+  bool any = false;
+  for (const ProtocolPass& pass : result.passes) {
+    result.mis_ok = result.mis_ok && pass.mis_ok;
+    result.schedule_ok = result.schedule_ok && pass.schedule_ok;
+    result.lambda_observed =
+        any ? std::min(result.lambda_observed, pass.lambda_observed)
+            : pass.lambda_observed;
+    any = true;
+  }
+  if (!any) result.lambda_observed = 1.0;
+}
+
+}  // namespace
+
+ProtocolRunResult run_distributed_protocol(const Problem& problem,
+                                           const LayeredPlan& plan,
+                                           const ProtocolOptions& options) {
+  begin_run(problem, plan, options);
+  const int n = problem.num_instances();
+
+  ProtocolState st(problem, options);
+  ProtocolRunResult result = init_result(problem, plan, options, st);
+  std::vector<char> all(static_cast<std::size_t>(std::max(n, 1)), 1);
+  if (n > 0) {
+    result.passes.push_back(run_pass(problem, plan, options.rule, all,
+                                     options, result.luby_budget, st));
+    mirror_single_pass(result, options.keep_stack);
+  }
+  finish_run(result, st);
+  return result;
+}
+
+ProtocolRunResult run_height_split_protocol(const Problem& problem,
+                                            const LayeredPlan& plan,
+                                            const ProtocolOptions& options) {
+  begin_run(problem, plan, options);
+  ProtocolState st(problem, options);
+  ProtocolRunResult result = init_result(problem, plan, options, st);
+
+  // The Section 6 classes, from the same builder the modeled
+  // solve_height_split uses.  A class with no members is skipped
+  // entirely (it would be an all-idle schedule), matching the modeled
+  // path, which runs one engine per non-empty class only.
+  const HeightClasses classes = classify_wide_narrow(problem);
+  if (classes.has_wide())
+    result.passes.push_back(run_pass(problem, plan, RaiseRuleKind::kUnit,
+                                     classes.wide_mask, options,
+                                     result.luby_budget, st));
+  if (classes.has_narrow())
+    result.passes.push_back(run_pass(problem, plan, RaiseRuleKind::kNarrow,
+                                     classes.narrow_mask, options,
+                                     result.luby_budget, st));
+
+  if (result.passes.size() == 1) {
+    mirror_single_pass(result, options.keep_stack);
+  } else if (result.passes.size() == 2) {
+    // Per-network better-of combination (paper, Theorem 6.3): the same
+    // helper the modeled solve_height_split uses — the two entry points
+    // share one combination arithmetic, and the parity suite compares
+    // the selected sets with ==.
+    result.solution = combine_better_of_per_network(
+        problem, result.passes[0].solution, result.passes[1].solution);
+  }
+  finish_run(result, st);
   return result;
 }
 

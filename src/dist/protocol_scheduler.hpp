@@ -1,13 +1,17 @@
 // The full two-phase algorithm as a message-level protocol (paper,
-// Section 5 "Distributed Implementation").
+// Section 5 "Distributed Implementation", generalized to the Section 6
+// wide/narrow split and the non-uniform-bandwidth rules).
 //
 // In the real distributed setting no processor can test a global
 // condition ("is some instance still unsatisfied?"), so *every* schedule
 // length is fixed up front from globally known quantities:
 //   epochs           = l_max (groups of the layered plan),
-//   stages_per_epoch = ceil(log_xi eps)            (Section 5),
+//   stages_per_epoch = ceil(log_xi eps)            (Section 5/6),
 //   steps_per_stage  = O(log(pmax/pmin))           (Lemma 5.1/Claim 5.2),
 //   luby_budget      = O(log n) Luby iterations    (w.h.p. termination).
+// xi is derived per *pass* from the raising rule and the pass's observed
+// (Delta, h_min) through derive_stage_params — the same derivation the
+// modeled engine's prepare() uses, so the two cannot drift.
 //
 // Nothing in the run is global anymore:
 //  - neighborhoods are learned by the 2-round edge-owner rendezvous of
@@ -15,25 +19,52 @@
 //  - the dual state is sharded per processor (framework/dual_shard.hpp):
 //    a raise is applied to the winner's own shard and propagated to its
 //    conflicting neighbors via kTagRaise messages, which the receivers
-//    *apply* — every satisfaction test reads only the local shard.
+//    *apply* — every satisfaction test reads only the local shard.  The
+//    kTagRaise payload carries the per-critical-edge increments exactly
+//    as RaiseRule::tight_raise computed them, i.e. capacity-normalized
+//    (delta/c(e) under kUnit) when capacity_aware_raises is on — the
+//    non-uniform profiles of src/capacity work end-to-end on the wire.
+//
+// A *pass* runs one raising rule over one instance class on fresh dual
+// shards.  run_distributed_protocol executes a single pass under
+// ProtocolOptions::rule; run_height_split_protocol executes the
+// Section 6 two-pass schedule — wide instances (h > 1/2) under kUnit,
+// the rest under kNarrow, each pass with its own fixed
+// (epochs, stages, steps) budget — and combines the two pruned
+// sub-solutions by the per-network better-of rule of Theorem 6.3,
+// exactly as the modeled solve_height_split does.
 //
 // Every (epoch, stage, step) tuple spends exactly 2*luby_budget rounds of
 // Luby protocol plus 1 dual-propagation round, whether or not any work
 // remains — idle processors execute the rounds in silence.  Phase 2
 // replays the tuples in reverse, 1 round each (keep/drop notification).
-// Hence the exact accounting identity the tests assert:
-//   rounds = discovery_rounds + tuples * (2*luby_budget + 1) + tuples.
+// Hence the exact accounting identity the tests assert, per pass and in
+// total:
+//   rounds = discovery_rounds
+//          + sum_pass [ tuples_pass * (2*luby_budget + 1) + tuples_pass ],
+//   tuples_pass = epochs * stages_per_epoch(pass) * steps_per_stage.
+// Discovery runs once; the passes share the discovered neighborhoods.
 //
 // mis_ok reports whether every Luby computation decided all of its
 // participants within the fixed budget; schedule_ok whether every stage's
 // step budget left no unsatisfied instance behind (Lemma 5.1's
 // prediction).  Both hold w.h.p.; the run remains feasible regardless.
+//
+// The whole pipeline is held to *exact* (==) equality against the
+// modeled engine — lockstep TwoPhaseEngine runs driven by the
+// ProtocolLubyMis mirror oracle — by tests/test_protocol_parity.cpp:
+// selected set, raise stack, per-instance final LHS (also against a
+// central DualState replay) and lambda, bit for bit.  To that end every
+// satisfaction test and slack computation reads the shard through
+// lhs_ordered (the ascending-edge beta walk), the float-for-float
+// operation order of the central DualState.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "decomp/layered.hpp"
+#include "framework/raise_rule.hpp"
 #include "model/problem.hpp"
 #include "model/solution.hpp"
 
@@ -42,49 +73,104 @@ namespace treesched {
 struct ProtocolOptions {
   double epsilon = 0.1;  // target slackness 1-eps
   std::uint64_t seed = 1;
+  // Raising rule of the single-pass run (run_distributed_protocol).  The
+  // two-pass wide/narrow schedule ignores it and uses kUnit + kNarrow.
+  RaiseRuleKind rule = RaiseRuleKind::kUnit;
+  // Capacity-aware increments (DESIGN.md Sec. 6) on the wire; false ships
+  // the paper's uniform increments verbatim (the bench_t5 "naive" arm).
+  bool capacity_aware_raises = true;
   // Extra steps on top of the Lemma 5.1 stage budget (matches
   // SolverConfig::lockstep_slack of the modeled engine).
   int lockstep_slack = 2;
-  // Luby iterations per MIS computation; 0 derives 2*ceil(log2 n) + 2.
+  // Luby iterations per MIS computation; 0 derives default_luby_budget(n).
   int luby_budget = 0;
-  // Retain the raise stack in ProtocolRunResult (test oracle for the
-  // central-replay parity check).
+  // Retain the per-pass raise stacks in the result (test oracle for the
+  // central-replay and engine parity checks).
   bool keep_stack = false;
+};
+
+// One executed pass of the protocol: a raising rule over an instance
+// class, on fresh dual shards, under its own fixed schedule.
+struct ProtocolPass {
+  RaiseRuleKind rule = RaiseRuleKind::kUnit;
+  int instances = 0;  // pass members (the active instance class)
+  // The fixed schedule of this pass.
+  int epochs = 0;
+  int stages_per_epoch = 0;
+  int steps_per_stage = 0;
+  int delta = 0;     // observed max |pi(d)| over the pass members
+  double h_min = 1.0;
+  double xi = 0.0;
+  // Round accounting of this pass alone (identity:
+  // rounds = tuples * (2*luby_budget + 1) + tuples).
+  std::int64_t tuples = 0;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  // Budget sufficiency (w.h.p. guarantees, observed).
+  bool mis_ok = true;
+  bool schedule_ok = true;
+  // min LHS/p over the pass members (the pass's certified slackness).
+  double lambda_observed = 1.0;
+  // Phase-2 prune of this pass's stack (pre-combination).
+  Solution solution;
+  // Per-instance final dual LHS as the shards see it — all instances,
+  // not just pass members: bystander shards apply incoming raises too,
+  // so the whole vector must match a central DualState replay of the
+  // pass's raise stack (and does, exactly).
+  std::vector<double> final_lhs;
+  // One entry per *raising* phase-1 step in raise order (idle tuples
+  // contribute no entry, matching the modeled engine's stack exactly);
+  // only when keep_stack.
+  std::vector<std::vector<InstanceId>> raise_stack;
 };
 
 struct ProtocolRunResult {
   Solution solution;
-  // The fixed schedule the run executed.
+  // The fixed schedule of a single-pass run (mirrors passes[0]; for a
+  // two-pass run stages_per_epoch differs per pass and is left 0 here).
   int epochs = 0;
   int stages_per_epoch = 0;
   int steps_per_stage = 0;
   int luby_budget = 0;
   // Runtime accounting (totals include the discovery share, which is
-  // also broken out).
+  // also broken out; see dist/discovery.hpp for the registration/reply
+  // byte split).
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t bytes = 0;
   std::int64_t discovery_rounds = 0;
   std::int64_t discovery_messages = 0;
   std::int64_t discovery_bytes = 0;
-  // Budget sufficiency (w.h.p. guarantees, observed).
+  std::int64_t discovery_registration_bytes = 0;
+  std::int64_t discovery_reply_bytes = 0;
+  // Budget sufficiency over all passes (AND).
   bool mis_ok = true;
   bool schedule_ok = true;
+  // Merged slackness over the passes (min, as SolveStats::merge takes it).
   double lambda_observed = 0.0;
-  // Per-instance final dual LHS as the shards see it (test oracle: must
-  // match a central DualState replay of the raise stack).
+  // Single-pass conveniences mirroring passes[0] (kept for the existing
+  // oracles; empty/unset on a two-pass run, use passes[] there).
   std::vector<double> final_lhs;
-  // One entry per phase-1 step, in raise order; only when keep_stack.
   std::vector<std::vector<InstanceId>> raise_stack;
+  // One entry per executed pass (an instance class with no members is
+  // skipped and contributes no pass, like the modeled height split).
+  std::vector<ProtocolPass> passes;
 };
 
 // Runs the message-level protocol on `problem` under `plan` (tree or line
-// layered plan).  Uses the kUnit raising rule — the Section 5 protocol;
-// the quality guarantee (profit * (Delta+1)/lambda >= OPT) needs unit
-// heights, while feasibility holds for any heights by phase-2
-// construction.
+// layered plan) as a single pass with options.rule.  The quality
+// guarantee needs the rule to match the instance class (kUnit: unit
+// heights or all-wide; kNarrow: all-narrow), while feasibility holds for
+// any input by phase-2 construction.
 ProtocolRunResult run_distributed_protocol(const Problem& problem,
                                            const LayeredPlan& plan,
                                            const ProtocolOptions& options = {});
+
+// The Section 6 two-pass schedule (Theorem 6.3): wide instances under
+// kUnit, narrow under kNarrow, per-network better-of combination.
+ProtocolRunResult run_height_split_protocol(
+    const Problem& problem, const LayeredPlan& plan,
+    const ProtocolOptions& options = {});
 
 }  // namespace treesched

@@ -1,8 +1,10 @@
 #include "dist/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
+#include "capacity/capacity_profile.hpp"
 #include "dist/luby_mis.hpp"
 
 namespace treesched {
@@ -22,9 +24,7 @@ SolverConfig make_config(const DistOptions& options, RaiseRuleKind rule) {
 
 // Final slackness lambda of the configured stage schedule.
 double target_lambda(const DistOptions& options) {
-  return options.stage_mode == StageMode::kSingleStagePS
-             ? 1.0 / (5.0 + options.epsilon)
-             : 1.0 - options.epsilon;
+  return treesched::target_lambda(options.stage_mode, options.epsilon);
 }
 
 // Unit-height solvers (Theorems 5.3 and 7.1): one engine run with the
@@ -115,6 +115,110 @@ DistResult solve_line_arbitrary_distributed(const Problem& problem,
                                             const DistOptions& options) {
   const LayeredPlan plan = build_line_layered_plan(problem);
   return solve_arbitrary(problem, plan, options);
+}
+
+// ---------------------------------------------------------------------------
+// Message-level theorem wrappers.
+
+namespace {
+
+// The lambda a protocol run certifies: the target when the budgets met
+// it, the observed slackness otherwise (sound either way; 0 -> no finite
+// certificate).
+double certified_lambda(const ProtocolRunResult& run, double epsilon) {
+  return std::min(treesched::target_lambda(StageMode::kMultiStage, epsilon),
+                  run.lambda_observed);
+}
+
+// Lemma 3.1/6.1 bound of an executed protocol run: the price factors of
+// the rule classes that actually ran *add* (wide/narrow split — OPT <=
+// OPT_wide + OPT_narrow), each taken at the run's overall Delta, like
+// the modeled solve_arbitrary.
+double protocol_ratio_bound(const ProtocolRunResult& run, double epsilon) {
+  const double lambda = certified_lambda(run, epsilon);
+  if (!(lambda > 0.0)) return std::numeric_limits<double>::infinity();
+  int delta = 0;
+  bool has_unit = false, has_narrow = false;
+  for (const ProtocolPass& pass : run.passes) {
+    delta = std::max(delta, pass.delta);
+    if (pass.rule == RaiseRuleKind::kUnit)
+      has_unit = true;
+    else
+      has_narrow = true;
+  }
+  double bound = 0.0;
+  if (has_unit)
+    bound += proven_ratio_bound(RaiseRuleKind::kUnit, delta, lambda);
+  if (has_narrow)
+    bound += proven_ratio_bound(RaiseRuleKind::kNarrow, delta, lambda);
+  return std::max(bound, 1.0);
+}
+
+ProtocolDistResult finish_protocol(const Problem& problem,
+                                   ProtocolRunResult run, double epsilon,
+                                   double spread = 1.0) {
+  ProtocolDistResult result;
+  result.profit = run.solution.profit(problem);
+  result.ratio_bound = protocol_ratio_bound(run, epsilon) * spread;
+  result.run = std::move(run);
+  return result;
+}
+
+}  // namespace
+
+ProtocolDistResult run_tree_unit_protocol(const Problem& problem,
+                                          const ProtocolOptions& options,
+                                          DecompKind decomp) {
+  TS_REQUIRE(problem.unit_height());
+  const LayeredPlan plan = build_tree_layered_plan(problem, decomp);
+  ProtocolOptions opt = options;
+  opt.rule = RaiseRuleKind::kUnit;
+  return finish_protocol(problem, run_distributed_protocol(problem, plan, opt),
+                         opt.epsilon);
+}
+
+ProtocolDistResult run_tree_arbitrary_protocol(const Problem& problem,
+                                               const ProtocolOptions& options,
+                                               DecompKind decomp) {
+  const LayeredPlan plan = build_tree_layered_plan(problem, decomp);
+  return finish_protocol(problem,
+                         run_height_split_protocol(problem, plan, options),
+                         options.epsilon);
+}
+
+ProtocolDistResult run_line_unit_protocol(const Problem& problem,
+                                          const ProtocolOptions& options) {
+  TS_REQUIRE(problem.unit_height());
+  const LayeredPlan plan = build_line_layered_plan(problem);
+  ProtocolOptions opt = options;
+  opt.rule = RaiseRuleKind::kUnit;
+  return finish_protocol(problem, run_distributed_protocol(problem, plan, opt),
+                         opt.epsilon);
+}
+
+ProtocolDistResult run_line_arbitrary_protocol(const Problem& problem,
+                                               const ProtocolOptions& options) {
+  const LayeredPlan plan = build_line_layered_plan(problem);
+  return finish_protocol(problem,
+                         run_height_split_protocol(problem, plan, options),
+                         options.epsilon);
+}
+
+ProtocolDistResult run_nonuniform_protocol(const Problem& problem,
+                                           const ProtocolOptions& options,
+                                           bool line, DecompKind decomp) {
+  ProtocolOptions opt = options;
+  if (problem.unit_height()) {
+    TS_REQUIRE(problem.min_capacity() >= 1.0 - kEps);
+    opt.rule = RaiseRuleKind::kUnit;
+  } else {
+    TS_REQUIRE(all_instances_narrow(problem));
+    opt.rule = RaiseRuleKind::kNarrow;
+  }
+  const LayeredPlan plan = line ? build_line_layered_plan(problem)
+                                : build_tree_layered_plan(problem, decomp);
+  return finish_protocol(problem, run_distributed_protocol(problem, plan, opt),
+                         opt.epsilon, max_path_capacity_spread(problem));
 }
 
 }  // namespace treesched

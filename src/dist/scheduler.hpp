@@ -23,12 +23,19 @@
 // The reported ratio_bound uses the *observed* Delta of the run, which
 // can be smaller than the theorem's worst case (ideal decomposition:
 // Delta <= 6; lines: Delta <= 3) — the bound is then better, never worse.
+// The *message-level* counterparts (run_*_protocol below) execute the
+// same theorems as real messages on the synchronous runtime via
+// dist/protocol_scheduler.hpp — rendezvous discovery, sharded duals,
+// fixed schedules — and report the same proven_ratio_bound.  The
+// protocol parity suite holds each wrapper to exact (==) agreement with
+// its modeled twin driven by the ProtocolLubyMis mirror oracle.
 #pragma once
 
 #include <cstdint>
 
 #include "decomp/layered.hpp"
 #include "decomp/tree_decomposition.hpp"
+#include "dist/protocol_scheduler.hpp"
 #include "framework/two_phase.hpp"
 #include "model/problem.hpp"
 #include "model/solution.hpp"
@@ -77,5 +84,47 @@ DistResult solve_line_unit_distributed(const Problem& problem,
 // Theorem 7.2 (any heights; line layered plan).
 DistResult solve_line_arbitrary_distributed(const Problem& problem,
                                             const DistOptions& options = {});
+
+// Message-level theorem wrappers ---------------------------------------------
+//
+// Each runs the corresponding theorem as a real protocol (bits on the
+// wire) and reports the ratio bound the run certifies.  The bound uses
+// lambda = min(1 - eps, observed lambda): when the fixed budgets achieve
+// the target slackness (schedule_ok, the w.h.p. case) this is exactly
+// the modeled wrappers' bound; when they fall short, the observed
+// slackness still certifies a (weaker, but sound) bound — and an
+// observed lambda of 0 yields +infinity, never a false certificate.
+
+struct ProtocolDistResult {
+  ProtocolRunResult run;
+  double profit = 0.0;
+  double ratio_bound = 0.0;  // proven approximation factor of this run
+};
+
+// Theorem 5.3, message-level (requires unit heights).
+ProtocolDistResult run_tree_unit_protocol(const Problem& problem,
+                                          const ProtocolOptions& options = {},
+                                          DecompKind decomp = DecompKind::kIdeal);
+
+// Theorem 6.3, message-level (any heights; two-pass wide/narrow split).
+ProtocolDistResult run_tree_arbitrary_protocol(
+    const Problem& problem, const ProtocolOptions& options = {},
+    DecompKind decomp = DecompKind::kIdeal);
+
+// Theorem 7.1, message-level (requires unit heights; line plan).
+ProtocolDistResult run_line_unit_protocol(const Problem& problem,
+                                          const ProtocolOptions& options = {});
+
+// Theorem 7.2, message-level (any heights; line plan, two-pass split).
+ProtocolDistResult run_line_arbitrary_protocol(
+    const Problem& problem, const ProtocolOptions& options = {});
+
+// Non-uniform bandwidths, message-level (DESIGN.md Sec. 6 / the IPDPS
+// 2013 extension): kUnit for unit-height problems, kNarrow when every
+// instance is narrow (checked); bound scaled by the path capacity
+// spread rho, mirroring solve_nonuniform_{unit,narrow}.
+ProtocolDistResult run_nonuniform_protocol(
+    const Problem& problem, const ProtocolOptions& options = {},
+    bool line = false, DecompKind decomp = DecompKind::kIdeal);
 
 }  // namespace treesched

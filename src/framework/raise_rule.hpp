@@ -95,6 +95,10 @@ class RaiseRule {
   // The per-stage decay base xi of the multi-stage schedule (Section 5 /
   // Section 6): 2(Delta+1)/(2(Delta+1)+1) for kUnit (14/15 when Delta=6,
   // 8/9 when Delta=3) and C/(C+h_min) with C = 1+2 Delta^2 for kNarrow.
+  // Consumed through derive_stage_params (two_phase.hpp), the one
+  // schedule derivation shared by the modeled engine and the
+  // message-level protocol — like tight_raise below, a single source so
+  // the implementations cannot drift.
   static double default_xi(RaiseRuleKind kind, int delta_size, double h_min);
 
  private:

@@ -130,33 +130,23 @@ void TwoPhaseEngine::count_notifications(InstanceId i, SolveStats& stats) {
 
 TwoPhaseEngine::StageSchedule TwoPhaseEngine::prepare(SolveStats& stats) const {
   StageSchedule sched;
-  // Delta and h_min over the active instances only: the wide/narrow split
-  // runs see different effective parameters.
-  double h_min = 1.0;
-  stats.delta = 0;
-  for (InstanceId i = 0; i < problem_->num_instances(); ++i) {
-    if (!is_active(i)) continue;
-    sched.any_active = true;
-    h_min = std::min(h_min, problem_->instance(i).height);
-    stats.delta =
-        std::max(stats.delta,
-                 static_cast<int>(plan_->critical[static_cast<std::size_t>(i)]
-                                      .size()));
-  }
+  // Delta, h_min, xi and the multi-stage count come from the shared
+  // derivation (over the active instances only: the wide/narrow split
+  // runs see different effective parameters).
+  const StageParams params =
+      derive_stage_params(*problem_, *plan_, active_mask_, config_.rule,
+                          config_.epsilon, config_.xi_override);
+  stats.delta = params.delta;
+  sched.any_active = params.any_active;
   if (!sched.any_active) return sched;
 
-  sched.xi = config_.xi_override > 0.0
-                 ? config_.xi_override
-                 : RaiseRule::default_xi(config_.rule, stats.delta, h_min);
+  sched.xi = params.xi;
   stats.xi = sched.xi;
 
   sched.stages_per_epoch = 1;
   sched.fixed_threshold = 1.0;  // kExact: raise until tight (lambda = 1)
   if (config_.stage_mode == StageMode::kMultiStage) {
-    // Smallest b with xi^b <= eps.
-    sched.stages_per_epoch = static_cast<int>(
-        std::ceil(std::log(config_.epsilon) / std::log(sched.xi)));
-    sched.stages_per_epoch = std::max(sched.stages_per_epoch, 1);
+    sched.stages_per_epoch = params.stages_per_epoch;
   } else if (config_.stage_mode == StageMode::kSingleStagePS) {
     // Panconesi-Sozio: a single stage per epoch with retirement at
     // 1/(5+eps)-satisfaction.
@@ -877,6 +867,36 @@ int lockstep_step_budget(const Problem& problem, int slack) {
   return std::max(1, 1 + slack + static_cast<int>(log_range));
 }
 
+double target_lambda(StageMode mode, double epsilon) {
+  return mode == StageMode::kSingleStagePS ? 1.0 / (5.0 + epsilon)
+                                           : 1.0 - epsilon;
+}
+
+StageParams derive_stage_params(const Problem& problem,
+                                const LayeredPlan& plan,
+                                const std::vector<char>& active_mask,
+                                RaiseRuleKind rule, double epsilon,
+                                double xi_override) {
+  StageParams params;
+  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+    if (!active_mask[static_cast<std::size_t>(i)]) continue;
+    params.any_active = true;
+    params.h_min = std::min(params.h_min, problem.instance(i).height);
+    params.delta = std::max(
+        params.delta,
+        static_cast<int>(plan.critical[static_cast<std::size_t>(i)].size()));
+  }
+  if (!params.any_active) return params;
+
+  params.xi = xi_override > 0.0
+                  ? xi_override
+                  : RaiseRule::default_xi(rule, params.delta, params.h_min);
+  // Smallest b with xi^b <= eps.
+  params.stages_per_epoch = std::max(
+      1, static_cast<int>(std::ceil(std::log(epsilon) / std::log(params.xi))));
+  return params;
+}
+
 // ---------------------------------------------------------------------------
 // Convenience wrappers
 
@@ -886,60 +906,75 @@ SolveResult solve_with_plan(const Problem& problem, const LayeredPlan& plan,
   return engine.run();
 }
 
+HeightClasses classify_wide_narrow(const Problem& problem) {
+  HeightClasses classes;
+  const int n = problem.num_instances();
+  classes.wide_mask.assign(static_cast<std::size_t>(std::max(n, 1)), 0);
+  classes.narrow_mask.assign(static_cast<std::size_t>(std::max(n, 1)), 0);
+  for (InstanceId i = 0; i < n; ++i) {
+    if (is_wide_instance(problem.instance(i))) {
+      classes.wide_ids.push_back(i);
+      classes.wide_mask[static_cast<std::size_t>(i)] = 1;
+    } else {
+      classes.narrow_ids.push_back(i);
+      classes.narrow_mask[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return classes;
+}
+
 SolveResult solve_height_split(const Problem& problem, const LayeredPlan& plan,
                                const SolverConfig& config, MisOracle* oracle) {
-  std::vector<InstanceId> wide, narrow;
-  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
-    if (is_wide_instance(problem.instance(i)))
-      wide.push_back(i);
-    else
-      narrow.push_back(i);
-  }
+  const HeightClasses classes = classify_wide_narrow(problem);
 
   SolveResult combined;
   std::vector<SolveResult> parts;
-  if (!wide.empty()) {
+  if (classes.has_wide()) {
     SolverConfig wide_config = config;
     wide_config.rule = RaiseRuleKind::kUnit;
     TwoPhaseEngine engine(problem, plan, wide_config, oracle);
-    engine.restrict_to(wide);
+    engine.restrict_to(classes.wide_ids);
     parts.push_back(engine.run());
   }
-  if (!narrow.empty()) {
+  if (classes.has_narrow()) {
     SolverConfig narrow_config = config;
     narrow_config.rule = RaiseRuleKind::kNarrow;
     TwoPhaseEngine engine(problem, plan, narrow_config, oracle);
-    engine.restrict_to(narrow);
+    engine.restrict_to(classes.narrow_ids);
     parts.push_back(engine.run());
   }
   if (parts.size() == 1) return std::move(parts.front());
   TS_REQUIRE(parts.size() == 2);
 
-  // Per-network better-of combination (paper, Theorem 6.3): every demand
-  // is entirely wide or entirely narrow, so the union cannot schedule a
-  // demand twice, and each network carries one sub-solution only.
-  const SolveResult& s1 = parts[0];
-  const SolveResult& s2 = parts[1];
+  combined.solution = combine_better_of_per_network(
+      problem, parts[0].solution, parts[1].solution);
+  combined.stats = parts[0].stats;
+  combined.stats.merge(parts[1].stats);
+  combined.stats.profit = combined.solution.profit(problem);
+  return combined;
+}
+
+Solution combine_better_of_per_network(const Problem& problem,
+                                       const Solution& s1,
+                                       const Solution& s2) {
+  Solution combined;
   std::vector<double> profit1(static_cast<std::size_t>(problem.num_networks()),
                               0.0);
   std::vector<double> profit2 = profit1;
-  for (InstanceId i : s1.solution.selected)
+  for (InstanceId i : s1.selected)
     profit1[static_cast<std::size_t>(problem.instance(i).network)] +=
         problem.instance(i).profit;
-  for (InstanceId i : s2.solution.selected)
+  for (InstanceId i : s2.selected)
     profit2[static_cast<std::size_t>(problem.instance(i).network)] +=
         problem.instance(i).profit;
-  for (InstanceId i : s1.solution.selected) {
+  for (InstanceId i : s1.selected) {
     const auto q = static_cast<std::size_t>(problem.instance(i).network);
-    if (profit1[q] >= profit2[q]) combined.solution.selected.push_back(i);
+    if (profit1[q] >= profit2[q]) combined.selected.push_back(i);
   }
-  for (InstanceId i : s2.solution.selected) {
+  for (InstanceId i : s2.selected) {
     const auto q = static_cast<std::size_t>(problem.instance(i).network);
-    if (profit1[q] < profit2[q]) combined.solution.selected.push_back(i);
+    if (profit1[q] < profit2[q]) combined.selected.push_back(i);
   }
-  combined.stats = s1.stats;
-  combined.stats.merge(s2.stats);
-  combined.stats.profit = combined.solution.profit(problem);
   return combined;
 }
 

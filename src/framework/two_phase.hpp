@@ -331,15 +331,67 @@ inline bool is_wide_instance(const DemandInstance& inst) {
   return inst.height > 0.5;
 }
 
+// The full Section 6 class partition in both the id-list and mask forms
+// the split implementations consume.  One builder shared by the modeled
+// solve_height_split, the message-level run_height_split_protocol and
+// the parity suite, so the class boundary cannot diverge between the
+// entry points the suite holds to exact equality.
+struct HeightClasses {
+  std::vector<InstanceId> wide_ids, narrow_ids;
+  std::vector<char> wide_mask, narrow_mask;  // sized max(n, 1)
+  bool has_wide() const { return !wide_ids.empty(); }
+  bool has_narrow() const { return !narrow_ids.empty(); }
+};
+HeightClasses classify_wide_narrow(const Problem& problem);
+
 // The fixed per-stage step budget of Lemma 5.1: profits double along
 // kill chains (Claim 5.2), so 1 + slack + ceil(log2(pmax/pmin)) steps
 // suffice.  Shared by the engine's lockstep mode and the message-level
 // protocol so both verify the *same* budget.
 int lockstep_step_budget(const Problem& problem, int slack);
 
+// Final slackness lambda of a stage schedule: 1-eps for the multi-stage
+// (and exact) schedules, 1/(5+eps) for the Panconesi-Sozio single-stage
+// baseline.  One definition shared by the modeled schedulers, the
+// non-uniform solvers and the message-level protocol wrappers, so their
+// reported ratio bounds cannot disagree on the lambda they assume.
+double target_lambda(StageMode mode, double epsilon);
+
+// The multi-stage schedule parameters of a phase-1 run over `active`
+// instances: observed Delta (max critical-set size), h_min, the decay
+// base xi = RaiseRule::default_xi(rule, delta, h_min) and the stage
+// count b = ceil(log_xi eps).  This is the one place the schedule is
+// derived — the engine's prepare() and the message-level protocol's
+// fixed schedule both call it, so the two can never run different
+// stage targets for the same instance class (which would break the
+// exact protocol-vs-engine parity the test suite enforces).
+struct StageParams {
+  bool any_active = false;
+  int delta = 0;
+  double h_min = 1.0;
+  double xi = 0.0;
+  int stages_per_epoch = 1;
+};
+StageParams derive_stage_params(const Problem& problem,
+                                const LayeredPlan& plan,
+                                const std::vector<char>& active_mask,
+                                RaiseRuleKind rule, double epsilon,
+                                double xi_override = 0.0);
+
 // Reverse greedy pruning of the raise stack (phase 2 of the framework).
 Solution prune_stack(const Problem& problem,
                      const std::vector<std::vector<InstanceId>>& stack);
+
+// Per-network better-of combination of two sub-solutions (paper,
+// Theorem 6.3): every network keeps whichever of the two carries more of
+// its profit (ties to s1).  Sound for the wide/narrow split because
+// every demand is entirely wide or entirely narrow, so the union cannot
+// schedule a demand twice.  One arithmetic shared by the modeled
+// solve_height_split and the message-level run_height_split_protocol —
+// the protocol parity suite compares their outputs with ==.
+Solution combine_better_of_per_network(const Problem& problem,
+                                       const Solution& s1,
+                                       const Solution& s2);
 
 // Ablation pruners (bench_f11): these do NOT carry the Lemma 3.1
 // guarantee; they exist to measure what the reverse-stack order buys.

@@ -108,6 +108,14 @@ TEST(Discovery, AccountingMatchesClosedForm) {
   EXPECT_EQ(hood.rounds, 2);
   EXPECT_EQ(hood.messages, registrations + replies);
   EXPECT_EQ(hood.bytes, registrations * 16 + reply_bytes);
+  // The per-leg breakdown carries the same closed forms and sums back to
+  // the totals exactly.
+  EXPECT_EQ(hood.registration_messages, registrations);
+  EXPECT_EQ(hood.registration_bytes, registrations * 16);
+  EXPECT_EQ(hood.reply_messages, replies);
+  EXPECT_EQ(hood.reply_bytes, reply_bytes);
+  EXPECT_EQ(hood.messages, hood.registration_messages + hood.reply_messages);
+  EXPECT_EQ(hood.bytes, hood.registration_bytes + hood.reply_bytes);
   // The runtime's counters carry exactly what discovery reported.
   EXPECT_EQ(rt.messages_sent(), hood.messages);
   EXPECT_EQ(rt.bytes_sent(), hood.bytes);
@@ -221,8 +229,9 @@ TEST(ShardedDual, ProtocolMatchesCentralReplay) {
 
     // schedule_ok means every stage target was met, which the final
     // satisfaction level must reflect.
-    if (run.schedule_ok)
+    if (run.schedule_ok) {
       EXPECT_GE(run.lambda_observed, 1.0 - options.epsilon - 1e-6);
+    }
   }
 }
 

@@ -11,10 +11,12 @@
 
 #include "common/rng.hpp"
 #include "decomp/layered.hpp"
+#include "dist/protocol_scheduler.hpp"
 #include "dist/scheduler.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "framework/two_phase.hpp"
 #include "test_util.hpp"
+#include "workload/scenario.hpp"
 #include "workload/tree_gen.hpp"
 
 namespace treesched {
@@ -147,6 +149,110 @@ TEST(Fuzz, RandomProblemsSolveUnderEveryPlan) {
       EXPECT_GE(run.stats.lambda_observed, 1.0 - config.epsilon - 1e-6)
           << to_string(kind) << " round " << round;
     }
+  }
+}
+
+// The exact two-pass round accounting identity of the message-level
+// protocol: rounds = discovery + sum_pass [tuples*(2L+1) + tuples].
+void require_protocol_identity(const ProtocolRunResult& run) {
+  std::int64_t pass_rounds = 0;
+  for (const ProtocolPass& pass : run.passes) {
+    ASSERT_EQ(pass.tuples, static_cast<std::int64_t>(pass.epochs) *
+                               pass.stages_per_epoch * pass.steps_per_stage);
+    ASSERT_EQ(pass.rounds,
+              pass.tuples * (2 * run.luby_budget + 1) + pass.tuples);
+    pass_rounds += pass.rounds;
+  }
+  ASSERT_EQ(run.rounds, run.discovery_rounds + pass_rounds);
+  ASSERT_EQ(run.discovery_bytes,
+            run.discovery_registration_bytes + run.discovery_reply_bytes);
+}
+
+TEST(Fuzz, ProtocolOnRandomHeightsTreesAndLines) {
+  // Random small instances through the message-level wide/narrow
+  // protocol: feasibility, the two-pass accounting identity, and the
+  // reported ratio bound certifying the exact B&B optimum.  Uniform
+  // capacities here — the wide/narrow price factors assume them; the
+  // non-uniform regimes are the next test's.
+  Rng rng(408);
+  const HeightLaw laws[] = {HeightLaw::kUnit, HeightLaw::kBimodal,
+                            HeightLaw::kUniformRange,
+                            HeightLaw::kNarrowOnly};
+  for (int round = 0; round < 6; ++round) {
+    const HeightLaw heights = laws[rng.next_below(std::size(laws))];
+    ProtocolOptions options;
+    options.epsilon = 0.35;  // keeps the narrow stage count tractable
+    options.seed = 900 + static_cast<std::uint64_t>(round);
+    const bool tree = round % 2 == 0;
+    const Problem p = [&]() -> Problem {
+      if (tree) {
+        TreeScenarioSpec spec;
+        spec.num_vertices = static_cast<VertexId>(rng.uniform_int(16, 32));
+        spec.num_networks = 2;
+        spec.demands.num_demands = static_cast<int>(rng.uniform_int(8, 12));
+        spec.demands.heights = heights;
+        spec.demands.height_min = 0.4;
+        spec.demands.profit_max = rng.uniform(10.0, 80.0);
+        spec.seed = options.seed;
+        return make_tree_problem(spec);
+      }
+      LineScenarioSpec spec;
+      spec.line.num_slots = static_cast<int>(rng.uniform_int(16, 32));
+      spec.line.num_resources = 2;
+      spec.line.num_demands = static_cast<int>(rng.uniform_int(6, 8));
+      spec.line.max_proc_time = spec.line.num_slots / 3;
+      spec.line.heights = heights;
+      spec.line.height_min = 0.4;
+      spec.line.profit_max = rng.uniform(10.0, 80.0);
+      spec.seed = options.seed;
+      return make_line_problem(spec);
+    }();
+    const ProtocolDistResult run = tree
+                                       ? run_tree_arbitrary_protocol(p, options)
+                                       : run_line_arbitrary_protocol(p, options);
+    const Profit profit = require_feasible(p, run.run.solution);
+    require_protocol_identity(run.run);
+    EXPECT_TRUE(run.run.mis_ok) << "round " << round;
+    EXPECT_TRUE(run.run.schedule_ok) << "round " << round;
+    const Profit opt = testutil::exact_opt(p);
+    EXPECT_GE(profit * run.ratio_bound, opt - 1e-6)
+        << "round " << round << " heights=" << to_string(heights);
+  }
+}
+
+TEST(Fuzz, ProtocolOnRandomNonuniformCapacities) {
+  // Random capacity profiles through the non-uniform protocol wrapper:
+  // the spread-scaled bound must still certify the exact optimum, for
+  // both the unit-height and the all-narrow regime.
+  Rng rng(409);
+  const CapacityLaw laws[] = {CapacityLaw::kTwoClass,
+                              CapacityLaw::kPowerClasses,
+                              CapacityLaw::kHotspot};
+  for (int round = 0; round < 6; ++round) {
+    TreeScenarioSpec spec;
+    spec.num_vertices = static_cast<VertexId>(rng.uniform_int(16, 30));
+    spec.num_networks = 2;
+    spec.demands.num_demands = static_cast<int>(rng.uniform_int(7, 10));
+    const bool narrow = round % 2 == 1;
+    spec.demands.heights = narrow ? HeightLaw::kNarrowOnly : HeightLaw::kUnit;
+    spec.demands.height_min = 0.4;
+    spec.demands.profit_max = rng.uniform(10.0, 60.0);
+    spec.capacities = laws[rng.next_below(std::size(laws))];
+    spec.capacity_base = 1.0;
+    spec.capacity_spread = rng.chance(0.5) ? 2.0 : 4.0;
+    spec.seed = 950 + static_cast<std::uint64_t>(round);
+    const Problem p = make_tree_problem(spec);
+    if (narrow && !all_instances_narrow(p)) continue;
+    ProtocolOptions options;
+    options.epsilon = 0.35;
+    options.seed = spec.seed;
+    const ProtocolDistResult run = run_nonuniform_protocol(p, options);
+    const Profit profit = require_feasible(p, run.run.solution);
+    require_protocol_identity(run.run);
+    const Profit opt = testutil::exact_opt(p);
+    EXPECT_GE(profit * run.ratio_bound, opt - 1e-6)
+        << "round " << round << " law=" << to_string(spec.capacities)
+        << " spread=" << spec.capacity_spread;
   }
 }
 

@@ -112,6 +112,118 @@ TEST(Protocol, MatchesEngineQuality) {
   EXPECT_GE(ep * bound, opt - 1e-6);
 }
 
+TEST(Protocol, SinglePassMirrorsPassBreakdown) {
+  // The top-level schedule/oracle fields of a single-pass run are the
+  // pass's own, verbatim.
+  const Problem p = small_tree_problem(21, 20, 2, 9);
+  const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+  ProtocolOptions options;
+  options.epsilon = 0.2;
+  options.keep_stack = true;
+  const ProtocolRunResult run = run_distributed_protocol(p, plan, options);
+  ASSERT_EQ(run.passes.size(), 1u);
+  const ProtocolPass& pass = run.passes.front();
+  EXPECT_EQ(pass.rule, RaiseRuleKind::kUnit);
+  EXPECT_EQ(run.epochs, pass.epochs);
+  EXPECT_EQ(run.stages_per_epoch, pass.stages_per_epoch);
+  EXPECT_EQ(run.steps_per_stage, pass.steps_per_stage);
+  EXPECT_EQ(run.solution.selected, pass.solution.selected);
+  EXPECT_EQ(run.final_lhs, pass.final_lhs);
+  EXPECT_EQ(run.raise_stack, pass.raise_stack);
+  EXPECT_EQ(run.mis_ok, pass.mis_ok);
+  EXPECT_EQ(run.schedule_ok, pass.schedule_ok);
+  EXPECT_EQ(run.lambda_observed, pass.lambda_observed);
+  EXPECT_EQ(run.rounds, run.discovery_rounds + pass.rounds);
+}
+
+TEST(Protocol, TwoPassAccountingIdentity) {
+  // The Section 6 schedule: rounds = discovery + sum over passes of
+  // tuples*(2L+1) + tuples, with per-pass budgets derived from each
+  // pass's own (rule, Delta, h_min).
+  TreeScenarioSpec spec;
+  spec.num_vertices = 24;
+  spec.num_networks = 2;
+  spec.demands.num_demands = 12;
+  spec.demands.heights = HeightLaw::kBimodal;
+  spec.demands.height_min = 0.4;
+  spec.demands.profit_max = 50.0;
+  spec.seed = 31;
+  const Problem p = make_tree_problem(spec);
+  const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+  ProtocolOptions options;
+  options.epsilon = 0.35;
+  const ProtocolRunResult run = run_height_split_protocol(p, plan, options);
+  require_feasible(p, run.solution);
+  ASSERT_EQ(run.passes.size(), 2u);
+  EXPECT_EQ(run.passes[0].rule, RaiseRuleKind::kUnit);
+  EXPECT_EQ(run.passes[1].rule, RaiseRuleKind::kNarrow);
+  // The narrow pass's schedule is its own: different xi, more stages.
+  EXPECT_GT(run.passes[1].stages_per_epoch,
+            run.passes[0].stages_per_epoch);
+  std::int64_t pass_rounds = 0;
+  for (const ProtocolPass& pass : run.passes) {
+    EXPECT_EQ(pass.tuples, static_cast<std::int64_t>(pass.epochs) *
+                               pass.stages_per_epoch * pass.steps_per_stage);
+    EXPECT_EQ(pass.rounds,
+              pass.tuples * (2 * run.luby_budget + 1) + pass.tuples);
+    pass_rounds += pass.rounds;
+  }
+  EXPECT_EQ(run.rounds, run.discovery_rounds + pass_rounds);
+  EXPECT_TRUE(run.schedule_ok);
+  EXPECT_GE(run.lambda_observed, 1.0 - options.epsilon - 1e-6);
+}
+
+TEST(Protocol, ArbitraryHeightsWithinTheoremBound) {
+  // Theorem 6.3 message-level: the two-pass run's profit certifies the
+  // exact optimum through the combined wide+narrow bound.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    TreeScenarioSpec spec;
+    spec.num_vertices = 20;
+    spec.num_networks = 2;
+    spec.demands.num_demands = 9;
+    spec.demands.heights = HeightLaw::kBimodal;
+    spec.demands.height_min = 0.4;
+    spec.demands.profit_max = 50.0;
+    spec.seed = seed + 60;
+    const Problem p = make_tree_problem(spec);
+    ProtocolOptions options;
+    options.epsilon = 0.35;
+    options.seed = seed;
+    const ProtocolDistResult run = run_tree_arbitrary_protocol(p, options);
+    const Profit profit = require_feasible(p, run.run.solution);
+    const Profit opt = exact_opt(p);
+    EXPECT_GE(profit * run.ratio_bound, opt - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(Protocol, NonUniformCapacitiesOnTheWire) {
+  // kTagRaise increments are capacity-normalized: the non-uniform
+  // profiles run end-to-end message-level, the certificate holds, and
+  // the naive arm (paper increments verbatim) still runs feasibly.
+  TreeScenarioSpec spec;
+  spec.num_vertices = 20;
+  spec.num_networks = 2;
+  spec.demands.num_demands = 9;
+  spec.demands.profit_max = 50.0;
+  spec.seed = 17;
+  spec.capacities = CapacityLaw::kTwoClass;
+  spec.capacity_spread = 4.0;
+  const Problem p = make_tree_problem(spec);
+  ProtocolOptions options;
+  options.epsilon = 0.2;
+  const ProtocolDistResult aware = run_nonuniform_protocol(p, options);
+  const Profit profit = require_feasible(p, aware.run.solution);
+  EXPECT_TRUE(aware.run.schedule_ok);
+  EXPECT_GE(aware.run.lambda_observed, 1.0 - options.epsilon - 1e-6);
+  const Profit opt = exact_opt(p);
+  EXPECT_GE(profit * aware.ratio_bound, opt - 1e-6);
+
+  ProtocolOptions naive_options = options;
+  naive_options.capacity_aware_raises = false;
+  const ProtocolDistResult naive = run_nonuniform_protocol(p, naive_options);
+  require_feasible(p, naive.run.solution);
+}
+
 TEST(Protocol, IsolatedDemandsAllScheduled) {
   // No conflicts at all: every demand must be scheduled despite the full
   // fixed-schedule machinery running.  The only traffic is the discovery

@@ -16,7 +16,10 @@ committed baseline in bench/baselines/ and enforces:
 
 Rows are joined on their non-metric fields (everything that is not a
 known metric), so reordering rows is fine but dropping or re-keying them
-is an error.
+is an error.  Boolean `*_ok` flags (mis_ok, schedule_ok: the protocol's
+budget-sufficiency observations) are deliberately join keys: a flip from
+1 to 0 re-keys the row and fails the gate loudly — silent budget
+insufficiency cannot hide inside a tolerance.
 
 Usage:
   tools/perf_trajectory.py --baseline-dir bench/baselines --current-dir build
@@ -28,18 +31,25 @@ import json
 import os
 import sys
 
-# Metrics gated with the tolerance (higher = worse).
+# Metrics gated with the tolerance (higher = worse).  The suffix forms
+# cover the per-arm series of the T-benches (ours_ratio, protocol_rounds,
+# discovery_bytes, ...): complexity counters and quality ratios gate;
+# exact floating equality across machines is NOT required for them (libm
+# differences in log/pow may move last bits), which is why they are
+# metrics rather than join keys.
 GATED_UP = ("rounds", "steps", "epochs", "raises", "ratio")
+GATED_SUFFIXES = ("_rounds", "_steps", "_messages", "_bytes", "_raises",
+                  "_ratio", "_gap")
 # Metrics reported but never gating.
 INFORMATIONAL = ("wall_ms", "steps_per_sec", "profit", "speedup", "ns",
                  "time_ms")
+INFO_SUFFIXES = ("_ms", "_ns", "_per_sec", "_profit", "_share", "_bound")
 
 
 def classify(field):
-    if field in GATED_UP:
+    if field in GATED_UP or field.endswith(GATED_SUFFIXES):
         return "gated"
-    if field in INFORMATIONAL or field.endswith("_ms") or field.endswith(
-            "_ns") or field.endswith("_per_sec"):
+    if field in INFORMATIONAL or field.endswith(INFO_SUFFIXES):
         return "info"
     return "key"
 
