@@ -1,0 +1,211 @@
+// F13 — epoch-setup ablation: the legacy per-epoch component recompute
+// (split_components: a fresh union-find over every per-edge/per-demand
+// clique chain, O(sum path) per epoch) against the persistent
+// ComponentForest (built once per run from the CSR edge->instances
+// index, sliced + frontier-filtered per epoch), isolated on the largest
+// tree (t3/t4-style) and line shapes.
+//
+// Reported per arm:
+//   epoch_setup_ns   the per-epoch derivation cost the epoch loop pays —
+//                    the forest's span slicing (oracles clone lazily on
+//                    the workers, satisfied components never clone) vs
+//                    the legacy union-find + eager clones.  This is the
+//                    gated >= 2x claim: the O(sum path) *per-epoch*
+//                    setup is gone;
+//   forest_build_ns  the forest's one-time build (zero on legacy arms) —
+//                    the same clique connectivity, paid once per run on
+//                    a contiguous CSR walk instead of once per epoch,
+//                    and amortized across every epoch (and across runs
+//                    when an engine is reused).  Reported, and folded
+//                    into the informational total-speedup column, so the
+//                    one-time cost is never hidden;
+//   merge_ns         the deterministic merge (same code both arms).
+//
+// Both arms are bit-identical in every output (tests/
+// test_component_forest.cpp), so the rows differ only in time.
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "decomp/layered.hpp"
+#include "framework/two_phase.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+namespace {
+
+Problem tree_unit(int n) {  // t3's largest shapes
+  TreeScenarioSpec spec;
+  spec.num_vertices = n;
+  spec.num_networks = 2;
+  spec.demands.num_demands = 3 * n / 4;
+  spec.demands.profit_max = 1e4;
+  spec.seed = 42;
+  return make_tree_problem(spec);
+}
+
+Problem tree_arbitrary(int n) {  // t4's largest shapes
+  TreeScenarioSpec spec;
+  spec.num_vertices = n;
+  spec.num_networks = 2;
+  spec.demands.num_demands = 3 * n / 4;
+  spec.demands.heights = HeightLaw::kBimodal;
+  spec.demands.height_min = 0.4;
+  spec.demands.profit_max = 1e4;
+  spec.seed = 42;
+  return make_tree_problem(spec);
+}
+
+Problem line_shape(int slots) {
+  LineScenarioSpec spec;
+  spec.line.num_slots = slots;
+  spec.line.num_resources = 2;
+  spec.line.num_demands = slots / 2;
+  spec.line.min_proc_time = 8;
+  spec.line.max_proc_time = slots / 8;
+  spec.line.window_slack = 2.0;
+  spec.line.profit_max = 1e4;
+  spec.seed = 42;
+  return make_line_problem(spec);
+}
+
+struct Shape {
+  const char* name;
+  double arm_id;
+  Problem problem;
+  bool line;
+};
+
+struct Measurement {
+  double wall_ms = 0.0;
+  int steps = 0;
+  double epoch_setup_ns = 0.0;
+  double forest_build_ns = 0.0;
+  double merge_ns = 0.0;
+};
+
+Measurement run_arm(const Problem& p, const LayeredPlan& plan, bool forest) {
+  SolverConfig config;
+  config.epsilon = 0.1;
+  config.lockstep = true;  // the Section 5 schedule, as in f12's headline
+  config.threads = 4;
+  config.use_component_forest = forest;
+  Measurement best;
+  // Best-of-3: setup is a small slice of the run, so take the minimum
+  // to shed scheduler noise.
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const SolveResult run = p.unit_height()
+                                ? solve_with_plan(p, plan, config)
+                                : solve_height_split(p, plan, config);
+    const auto stop = std::chrono::steady_clock::now();
+    Measurement m;
+    m.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    m.steps = run.stats.steps;
+    m.epoch_setup_ns = static_cast<double>(run.stats.epoch_setup_ns);
+    m.forest_build_ns = static_cast<double>(run.stats.forest_build_ns);
+    m.merge_ns = static_cast<double>(run.stats.merge_ns);
+    checked_profit(p, run.solution);
+    if (rep == 0 ||
+        m.epoch_setup_ns + m.forest_build_ns <
+            best.epoch_setup_ns + best.forest_build_ns)
+      best = m;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  print_claim("F13  epoch setup: split_components vs component forest",
+              "the persistent forest replaces the legacy O(sum path) "
+              "per-epoch union-find with span slicing + lazy worker-side "
+              "clones; >= 2x lower per-epoch setup on every largest "
+              "t3/t4/line shape (one-time build reported and folded into "
+              "the informational total)");
+
+  std::vector<Shape> shapes;
+  shapes.push_back({"tree-unit-2048", 0.0, tree_unit(2048), false});
+  shapes.push_back({"tree-unit-4096", 1.0, tree_unit(4096), false});
+  shapes.push_back({"tree-arb-2048", 2.0, tree_arbitrary(2048), false});
+  shapes.push_back({"line-1024", 3.0, line_shape(1024), true});
+  shapes.push_back({"line-2048", 4.0, line_shape(2048), true});
+
+  Table table("F13  per-run component setup (threads=4, lockstep)");
+  table.set_header({"shape", "instances", "arm", "setup(ms)", "build(ms)",
+                    "merge(ms)", "wall(ms)", "setup speedup",
+                    "total speedup"});
+  std::vector<JsonRecord> runs;
+  double min_speedup = 0.0;
+  bool first_speedup = true;
+
+  for (const Shape& shape : shapes) {
+    const LayeredPlan plan =
+        shape.line ? build_line_layered_plan(shape.problem)
+                   : build_tree_layered_plan(shape.problem,
+                                             DecompKind::kIdeal);
+    const Measurement legacy = run_arm(shape.problem, plan, false);
+    const Measurement forest = run_arm(shape.problem, plan, true);
+    // Gated: the per-epoch setup alone (what the epoch loop pays every
+    // epoch).  Informational: the same ratio with the forest's one-time
+    // build charged to this single run.  A zero forest measurement means
+    // the derive was below the clock's granularity — the best possible
+    // outcome, scored as infinite speedup (emit_json writes null), never
+    // as a 0.0 that would fail the gate.
+    const double speedup =
+        forest.epoch_setup_ns > 0.0
+            ? legacy.epoch_setup_ns / forest.epoch_setup_ns
+            : std::numeric_limits<double>::infinity();
+    const double forest_total =
+        forest.epoch_setup_ns + forest.forest_build_ns;
+    const double total_speedup =
+        forest_total > 0.0 ? legacy.epoch_setup_ns / forest_total
+                           : std::numeric_limits<double>::infinity();
+    if (first_speedup || speedup < min_speedup) min_speedup = speedup;
+    first_speedup = false;
+
+    for (const bool is_forest : {false, true}) {
+      const Measurement& m = is_forest ? forest : legacy;
+      table.add_row(
+          {shape.name, std::to_string(shape.problem.num_instances()),
+           is_forest ? "forest" : "legacy", fmt(m.epoch_setup_ns * 1e-6, 2),
+           fmt(m.forest_build_ns * 1e-6, 2), fmt(m.merge_ns * 1e-6, 2),
+           fmt(m.wall_ms, 1), is_forest ? fmt(speedup, 2) : "1.00",
+           is_forest ? fmt(total_speedup, 2) : "1.00"});
+      runs.push_back(
+          {{"arm", shape.arm_id},
+           {"forest", is_forest ? 1.0 : 0.0},
+           {"instances",
+            static_cast<double>(shape.problem.num_instances())},
+           {"steps", static_cast<double>(m.steps)},
+           {"epoch_setup_ns", m.epoch_setup_ns},
+           {"forest_build_ns", m.forest_build_ns},
+           {"merge_ns", m.merge_ns},
+           {"wall_ms", m.wall_ms},
+           {"setup_speedup", is_forest ? speedup : 1.0},
+           {"total_setup_speedup", is_forest ? total_speedup : 1.0}});
+    }
+  }
+  table.print(std::cout);
+  emit_json("f13_epoch_setup", runs);
+
+  std::printf("\nminimum per-epoch setup speedup over the largest shapes "
+              "(legacy split_components / forest derive): %.2fx %s\n",
+              min_speedup,
+              min_speedup >= 2.0 ? "(>= 2x: PASS)" : "(< 2x: REGRESSION)");
+  std::printf("expected shape: the legacy arm re-runs the union-find over "
+              "every clique chain each epoch and clones every component's "
+              "oracle eagerly; the forest pays one CSR-walk build per run "
+              "(build(ms), amortized across epochs and runs), after which "
+              "each epoch only slices spans — clones happen lazily on the "
+              "workers, and only for components with frontier work.  The "
+              "gap widens with sum-path density (line >> tree).\n");
+  // Enforced like f12's 5x gate: a same-machine ratio, so host speed
+  // cancels out.
+  return min_speedup >= 2.0 ? 0 : 1;
+}

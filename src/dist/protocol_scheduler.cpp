@@ -279,7 +279,10 @@ void mirror_single_pass(ProtocolRunResult& result, bool keep_stack) {
 }
 
 void finish_run(ProtocolRunResult& result, const ProtocolState& st) {
-  result.rounds = st.rt.round();
+  // combine_rounds is a modeled charge (the converge-cast is not
+  // executed on the runtime), added on top of the rounds the runtime
+  // actually stepped through.
+  result.rounds = st.rt.round() + result.combine_rounds;
   result.messages = st.rt.messages_sent();
   result.bytes = st.rt.bytes_sent();
   // A pass's lambda_observed is always a real observed minimum (passes
@@ -347,9 +350,12 @@ ProtocolRunResult run_height_split_protocol(const Problem& problem,
     // Per-network better-of combination (paper, Theorem 6.3): the same
     // helper the modeled solve_height_split uses — the two entry points
     // share one combination arithmetic, and the parity suite compares
-    // the selected sets with ==.
+    // the selected sets with ==.  The combination is not free on the
+    // wire: charge the per-network converge-cast that elects the winner
+    // (the same term the modeled solve_arbitrary charges).
     result.solution = combine_better_of_per_network(
         problem, result.passes[0].solution, result.passes[1].solution);
+    result.combine_rounds = better_of_convergecast_rounds(problem);
   }
   finish_run(result, st);
   return result;

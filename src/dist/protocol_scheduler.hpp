@@ -38,10 +38,15 @@
 // Luby protocol plus 1 dual-propagation round, whether or not any work
 // remains — idle processors execute the rounds in silence.  Phase 2
 // replays the tuples in reverse, 1 round each (keep/drop notification).
-// Hence the exact accounting identity the tests assert, per pass and in
-// total:
+// A two-pass run additionally charges the per-network better-of
+// combination an honest converge-cast (better_of_convergecast_rounds in
+// framework/two_phase.hpp: the profit totals cast up each tree, the
+// verdict broadcasts back — O(depth) rounds, zero when only one class
+// ran).  Hence the exact accounting identity the tests assert, per pass
+// and in total:
 //   rounds = discovery_rounds
-//          + sum_pass [ tuples_pass * (2*luby_budget + 1) + tuples_pass ],
+//          + sum_pass [ tuples_pass * (2*luby_budget + 1) + tuples_pass ]
+//          + combine_rounds,
 //   tuples_pass = epochs * stages_per_epoch(pass) * steps_per_stage.
 // Discovery runs once; the passes share the discovered neighborhoods.
 //
@@ -144,6 +149,13 @@ struct ProtocolRunResult {
   std::int64_t discovery_bytes = 0;
   std::int64_t discovery_registration_bytes = 0;
   std::int64_t discovery_reply_bytes = 0;
+  // Rounds charged to the per-network better-of combination of a
+  // two-pass run (better_of_convergecast_rounds: each network
+  // converge-casts the two profit totals and broadcasts the winner,
+  // O(depth) rounds).  Zero when fewer than two passes ran; included in
+  // `rounds`, so the whole-run identity is
+  //   rounds = discovery_rounds + sum_pass pass.rounds + combine_rounds.
+  std::int64_t combine_rounds = 0;
   // Budget sufficiency over all passes (AND).
   bool mis_ok = true;
   bool schedule_ok = true;

@@ -68,6 +68,15 @@ DistResult solve_arbitrary(const Problem& problem, const LayeredPlan& plan,
   DistResult result;
   result.solution = std::move(run.solution);
   result.stats = run.stats;
+  // Honest accounting of the per-network better-of combination: picking
+  // the winner per network is not free in the distributed model — the
+  // per-network profit totals of the two sub-solutions converge-cast up
+  // each tree and the verdict broadcasts back, O(depth) rounds.  Charged
+  // only when two classes actually ran (a single class has nothing to
+  // combine), so the round identity becomes
+  //   comm_rounds = mis_rounds + steps [+ better_of_convergecast_rounds].
+  if (has_wide && has_narrow)
+    result.stats.comm_rounds += better_of_convergecast_rounds(problem);
   result.profit = result.stats.profit;
   const double lambda = target_lambda(options);
   double bound = 0.0;

@@ -1,0 +1,164 @@
+#include "framework/component_forest.hpp"
+
+#include <algorithm>
+
+namespace treesched {
+
+int ComponentForest::find(int x) {
+  // Path halving; roots are canonicalized to the smallest id by unite
+  // below, so find(i) of any member returns the component's minimum
+  // active instance id.
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    parent_[static_cast<std::size_t>(x)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+void ComponentForest::build(const Problem& problem, const LayeredPlan& plan,
+                            const std::vector<char>& active_mask) {
+  TS_REQUIRE(problem.finalized());
+  const int n = problem.num_instances();
+  TS_REQUIRE(plan.group.size() == static_cast<std::size_t>(n));
+  TS_REQUIRE(active_mask.size() == static_cast<std::size_t>(n));
+  num_groups_ = plan.num_groups;
+
+  parent_.assign(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i)
+    if (active_mask[static_cast<std::size_t>(i)]) parent_[static_cast<std::size_t>(i)] = i;
+
+  const auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Smaller id becomes the root: the canonical representative every
+    // derived ordering below keys on.
+    if (a < b)
+      parent_[static_cast<std::size_t>(b)] = a;
+    else
+      parent_[static_cast<std::size_t>(a)] = b;
+  };
+
+  // Fused active/group lookup: one load per clique entry on the hot
+  // walk below (-1 = inactive).
+  group_of_.assign(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i)
+    if (active_mask[static_cast<std::size_t>(i)])
+      group_of_[static_cast<std::size_t>(i)] =
+          plan.group[static_cast<std::size_t>(i)];
+
+  // Clique chaining, stamped per clique so the per-group scratch never
+  // needs clearing.  Conflicts only matter *within* a group (an epoch
+  // processes one group), so each per-edge / per-demand clique is
+  // chained separately per group.
+  group_last_.assign(static_cast<std::size_t>(std::max(num_groups_, 1)), -1);
+  group_stamp_.assign(static_cast<std::size_t>(std::max(num_groups_, 1)), 0);
+  int stamp = 0;
+
+  const auto chain = [&](std::span<const InstanceId> clique) {
+    ++stamp;
+    for (InstanceId i : clique) {
+      const int group = group_of_[static_cast<std::size_t>(i)];
+      if (group < 0) continue;
+      const auto g = static_cast<std::size_t>(group);
+      if (group_stamp_[g] == stamp) unite(i, group_last_[g]);
+      group_stamp_[g] = stamp;
+      group_last_[g] = i;
+    }
+  };
+
+  bool all_active = true;
+  for (int i = 0; i < n && all_active; ++i)
+    all_active = active_mask[static_cast<std::size_t>(i)] != 0;
+  if (all_active) {
+    for (DemandId d = 0; d < problem.num_demands(); ++d) {
+      const auto& sibs = problem.instances_of_demand(d);
+      chain({sibs.data(), sibs.size()});
+    }
+    // One contiguous walk over the CSR inverted index — the same cliques
+    // split_components reaches through per-member path walks, but bucket
+    // by bucket in index order.
+    for (EdgeId e = 0; e < problem.num_global_edges(); ++e)
+      chain(problem.instances_on_edge(e));
+  } else {
+    // Restricted mask (the wide/narrow split's regime): a CSR walk would
+    // touch every instance's entries just to discard the inactive ones,
+    // so walk the *active members'* paths instead — the same per-group
+    // clique chains split_components runs, but once for all groups.
+    edge_last_.assign(static_cast<std::size_t>(problem.num_global_edges()),
+                      -1);
+    edge_stamp_.assign(edge_last_.size(), 0);
+    demand_last_.assign(static_cast<std::size_t>(problem.num_demands()), -1);
+    demand_stamp_.assign(demand_last_.size(), 0);
+    int walk_stamp = 0;
+    for (int g = 0; g < num_groups_; ++g) {
+      ++walk_stamp;
+      for (InstanceId i : plan.members[static_cast<std::size_t>(g)]) {
+        if (group_of_[static_cast<std::size_t>(i)] < 0) continue;
+        const DemandInstance& inst = problem.instance(i);
+        const auto d = static_cast<std::size_t>(inst.demand);
+        if (demand_stamp_[d] == walk_stamp) unite(i, demand_last_[d]);
+        demand_stamp_[d] = walk_stamp;
+        demand_last_[d] = i;
+        for (EdgeId e : inst.edges) {
+          const auto ge = static_cast<std::size_t>(e);
+          if (edge_stamp_[ge] == walk_stamp) unite(i, edge_last_[ge]);
+          edge_stamp_[ge] = walk_stamp;
+          edge_last_[ge] = i;
+        }
+      }
+    }
+  }
+
+  // Flatten per group: components ordered by first member rank, members
+  // in ascending rank.  Two passes over the plan's member lists: count
+  // component sizes, then fill with cursors.
+  comp_of_root_.assign(static_cast<std::size_t>(n), -1);
+  root_stamp_.assign(static_cast<std::size_t>(n), -1);
+  group_first_comp_.assign(static_cast<std::size_t>(num_groups_) + 1, 0);
+  std::vector<std::int64_t> comp_size;
+  for (int g = 0; g < num_groups_; ++g) {
+    int comps_here = 0;
+    for (InstanceId i : plan.members[static_cast<std::size_t>(g)]) {
+      if (!active_mask[static_cast<std::size_t>(i)]) continue;
+      const auto root = static_cast<std::size_t>(find(i));
+      if (root_stamp_[root] != g) {
+        root_stamp_[root] = g;
+        comp_of_root_[root] =
+            group_first_comp_[static_cast<std::size_t>(g)] + comps_here;
+        ++comps_here;
+        comp_size.push_back(0);
+      }
+      ++comp_size[static_cast<std::size_t>(comp_of_root_[root])];
+    }
+    group_first_comp_[static_cast<std::size_t>(g) + 1] =
+        group_first_comp_[static_cast<std::size_t>(g)] + comps_here;
+  }
+
+  const int total_comps = group_first_comp_[static_cast<std::size_t>(num_groups_)];
+  comp_member_begin_.assign(static_cast<std::size_t>(total_comps) + 1, 0);
+  for (int c = 0; c < total_comps; ++c)
+    comp_member_begin_[static_cast<std::size_t>(c) + 1] =
+        comp_member_begin_[static_cast<std::size_t>(c)] +
+        comp_size[static_cast<std::size_t>(c)];
+  member_ranks_.resize(static_cast<std::size_t>(comp_member_begin_.back()));
+  member_ids_.resize(member_ranks_.size());
+
+  std::vector<std::int64_t> cursor(comp_member_begin_.begin(),
+                                   comp_member_begin_.end() - 1);
+  for (int g = 0; g < num_groups_; ++g) {
+    int rank = 0;
+    for (InstanceId i : plan.members[static_cast<std::size_t>(g)]) {
+      if (!active_mask[static_cast<std::size_t>(i)]) continue;
+      const int c = comp_of_root_[static_cast<std::size_t>(find(i))];
+      const auto at = static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++);
+      member_ranks_[at] = rank;
+      member_ids_[at] = i;
+      ++rank;
+    }
+  }
+  built_ = true;
+}
+
+}  // namespace treesched

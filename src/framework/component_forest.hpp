@@ -1,0 +1,113 @@
+// Persistent conflict-component forest: the per-group connected
+// components of the instance conflict graph, for every group of a
+// layered plan at once.
+//
+// The incremental engine's parallel epoch execution partitions each
+// epoch's group into conflict-disjoint components (no raise in one
+// component can touch the LHS of another's members).  That partition
+// depends only on static data — the Problem's paths/demands, the plan's
+// group assignment and the active mask — never on the dual state, so
+// recomputing it per epoch (PR 3's split_components: a fresh union-find
+// over every per-edge clique chain, O(sum path) per epoch) repays work
+// the problem structure already fixed.  This class builds the whole
+// forest in ONE pass over the Problem's CSR edge->instances index
+// (contiguous bucket walks instead of scattered per-member path walks)
+// and stores it flat (two-level CSR: group -> components -> members),
+// so an epoch's setup drops to slicing spans + cloning oracles.
+//
+// Determinism contract (what keeps forest-vs-recompute bit-exact, which
+// tests/test_component_forest.cpp enforces with ==):
+//  * components of a group are ordered by their smallest member *rank*
+//    (rank = position among the group's active members in plan order) —
+//    exactly the order split_components's min-root union-find emits;
+//  * members within a component are in ascending rank;
+//  * hence component_ids(g, c).front() is the same "first member" the
+//    engine keys MisOracle::component_clone streams by
+//    (component_stream_key in two_phase.hpp), so randomized oracles draw
+//    identical per-component streams under either decomposition path.
+//
+// Lifecycle: build() once per (problem, plan, active_mask) combination;
+// TwoPhaseEngine builds lazily on the first parallel run and invalidates
+// on restrict_to().  Within a stage the unsatisfied frontier only
+// shrinks, so components only ever split — the engine exploits that by
+// *filtering* (skipping components with no unsatisfied member at the
+// final stage target) rather than re-partitioning; the forest itself
+// never needs updating mid-run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/prelude.hpp"
+#include "decomp/layered.hpp"
+#include "model/problem.hpp"
+
+namespace treesched {
+
+class ComponentForest {
+ public:
+  ComponentForest() = default;
+
+  // Builds the forest over the instances with active_mask[i] != 0.
+  // active_mask is indexed by instance id and must cover the problem.
+  void build(const Problem& problem, const LayeredPlan& plan,
+             const std::vector<char>& active_mask);
+
+  bool built() const { return built_; }
+  void invalidate() { built_ = false; }
+
+  int num_groups() const { return num_groups_; }
+  int total_components() const {
+    return static_cast<int>(comp_member_begin_.size()) - 1;
+  }
+  int components_in_group(int g) const {
+    return group_first_comp_[static_cast<std::size_t>(g) + 1] -
+           group_first_comp_[static_cast<std::size_t>(g)];
+  }
+  // Member ranks (positions among the group's active members, ascending)
+  // of component c of group g.
+  std::span<const int> component_ranks(int g, int c) const {
+    const int comp = group_first_comp_[static_cast<std::size_t>(g)] + c;
+    return {member_ranks_.data() + comp_member_begin_[comp],
+            static_cast<std::size_t>(comp_member_begin_[comp + 1] -
+                                     comp_member_begin_[comp])};
+  }
+  // The same members as instance ids (members[rank], same order).
+  std::span<const InstanceId> component_ids(int g, int c) const {
+    const int comp = group_first_comp_[static_cast<std::size_t>(g)] + c;
+    return {member_ids_.data() + comp_member_begin_[comp],
+            static_cast<std::size_t>(comp_member_begin_[comp + 1] -
+                                     comp_member_begin_[comp])};
+  }
+
+ private:
+  int find(int x);
+
+  bool built_ = false;
+  int num_groups_ = 0;
+  // Union-find over instance ids (-1 = inactive), roots canonicalized to
+  // the smallest member id; scratch reused across build() calls.
+  std::vector<int> parent_;
+  // Per-(edge|demand) clique chaining: last active instance seen per
+  // group, stamped so no clearing is needed between cliques.
+  std::vector<int> group_last_, group_stamp_;
+  // Fused lookup for the build's hot walk: group of i, or -1 inactive.
+  std::vector<int> group_of_;
+  // Restricted-mask build: per-edge / per-demand chain scratch for the
+  // active-members path walk (stamped per group).
+  std::vector<int> edge_last_, edge_stamp_, demand_last_, demand_stamp_;
+  // Root -> dense component id, stamped per group.
+  std::vector<int> comp_of_root_, root_stamp_;
+
+  // The flat forest: group g owns components
+  // [group_first_comp_[g], group_first_comp_[g+1]); component c owns
+  // members [comp_member_begin_[c], comp_member_begin_[c+1]) of the
+  // parallel (member_ranks_, member_ids_) arrays.
+  std::vector<int> group_first_comp_;
+  std::vector<std::int64_t> comp_member_begin_;
+  std::vector<int> member_ranks_;
+  std::vector<InstanceId> member_ids_;
+};
+
+}  // namespace treesched

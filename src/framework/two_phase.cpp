@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -73,7 +74,22 @@ void SolveStats::merge(const SolveStats& other) {
   interference_ok = interference_ok && other.interference_ok;
   lockstep_ok = lockstep_ok && other.lockstep_ok;
   mis_ok = mis_ok && other.mis_ok;
+  epoch_setup_ns += other.epoch_setup_ns;
+  forest_build_ns += other.forest_build_ns;
+  merge_ns += other.merge_ns;
 }
+
+namespace {
+
+// Monotone wall-clock reads for the stats' timing breakdown.  Timing
+// only — no field the parity suites compare with == depends on these.
+inline std::int64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TwoPhaseEngine — shared setup
@@ -103,6 +119,9 @@ void TwoPhaseEngine::restrict_to(std::vector<InstanceId> active) {
     TS_REQUIRE(i >= 0 && i < problem_->num_instances());
     active_mask_[static_cast<std::size_t>(i)] = 1;
   }
+  // The forest partitions the *active* members of every group; a new
+  // active set means a new forest.
+  forest_.invalidate();
 }
 
 void TwoPhaseEngine::count_notifications(InstanceId i, SolveStats& stats) {
@@ -388,9 +407,7 @@ void TwoPhaseEngine::propagate_raise(InstanceId i, double delta,
   const auto in_scope = [&](InstanceId k) {
     if (!is_active(k)) return false;
     if (scope == PropScope::kAll) return true;
-    const bool in_group =
-        plan_->group[static_cast<std::size_t>(k)] == group;
-    return scope == PropScope::kInGroup ? in_group : !in_group;
+    return plan_->group[static_cast<std::size_t>(k)] == group;
   };
   if (config_.raise_alpha) {
     for (InstanceId k : problem_->instances_of_demand(inst.demand)) {
@@ -460,6 +477,15 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
   // path (which also serves threads == 1).
   const bool parallel =
       config_.threads > 1 && oracle_->supports_component_clone();
+  if (parallel) {
+    worker_scratch_.resize(
+        static_cast<std::size_t>(std::max(config_.threads, 1)));
+    if (config_.use_component_forest && !forest_.built()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      forest_.build(*problem_, *plan_, active_mask_);
+      stats.forest_build_ns += elapsed_ns(t0);
+    }
+  }
 
   std::vector<std::vector<InstanceId>> stack;
   std::vector<InstanceId> raised_order;
@@ -474,34 +500,40 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
     ++stats.epochs;
 
     if (parallel) {
-      std::vector<EpochComponent> comps = split_components(members, g);
-      if (comps.size() > 1) {
+      const auto setup_start = std::chrono::steady_clock::now();
+      const int comp_count = config_.use_component_forest
+                                 ? derive_components(members, g)
+                                 : split_components(members, g);
+      stats.epoch_setup_ns += elapsed_ns(setup_start);
+      if (comp_count > 1) {
         // Fixed-size pool over an atomic work index: which worker runs
         // which component is scheduling-dependent, but each component's
         // writes are confined to its own members' shards and caches, and
         // the merge below replays everything in fixed component order —
         // so the output is independent of the interleaving.
-        std::atomic<std::size_t> next{0};
-        const auto work = [&] {
+        std::atomic<int> next{0};
+        const auto work = [&](int w) {
+          WorkerScratch& scratch = worker_scratch_[static_cast<std::size_t>(w)];
           for (;;) {
-            const std::size_t c = next.fetch_add(1);
-            if (c >= comps.size()) break;
-            run_component(comps[c], rule, sched, g);
+            const int c = next.fetch_add(1);
+            if (c >= comp_count) break;
+            run_component(comp_pool_[static_cast<std::size_t>(c)], rule,
+                          sched, g, scratch);
           }
         };
-        const int workers = std::min(config_.threads,
-                                     static_cast<int>(comps.size()));
+        const int workers = clamp_workers(comp_count);
         std::vector<std::thread> pool;
         pool.reserve(static_cast<std::size_t>(workers) - 1);
-        for (int w = 1; w < workers; ++w) pool.emplace_back(work);
-        work();
+        for (int w = 1; w < workers; ++w) pool.emplace_back(work, w);
+        work(0);
         for (std::thread& t : pool) t.join();
-      } else {
-        for (EpochComponent& comp : comps)
-          run_component(comp, rule, sched, g);
+      } else if (comp_count == 1) {
+        run_component(comp_pool_[0], rule, sched, g, worker_scratch_[0]);
       }
-      merge_components(comps, members, rule, sched, g, objective, stats,
-                       stack, raised_order);
+      const auto merge_start = std::chrono::steady_clock::now();
+      merge_components(comp_count, members, rule, sched, g, objective,
+                       stats, stack, raised_order);
+      stats.merge_ns += elapsed_ns(merge_start);
       continue;
     }
 
@@ -610,9 +642,15 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
 // by the merge in (step, member-rank) order — exactly the chronological
 // order the serial engine applies them in, which is what keeps the
 // parallel path bit-identical for decomposable (deterministic) oracles.
+//
+// Two decompositions produce the identical partition: the persistent
+// ComponentForest (default; built once per run and sliced per epoch) and
+// the legacy per-epoch union-find below (split_components, kept as the
+// recompute oracle behind SolverConfig::use_component_forest = false and
+// as bench_f13's baseline arm).
 
-std::vector<TwoPhaseEngine::EpochComponent> TwoPhaseEngine::split_components(
-    const std::vector<InstanceId>& members, int group) {
+int TwoPhaseEngine::split_components(const std::vector<InstanceId>& members,
+                                     int group) {
   const int m = static_cast<int>(members.size());
   ++comp_stamp_;
   std::vector<int> parent(static_cast<std::size_t>(m));
@@ -658,42 +696,79 @@ std::vector<TwoPhaseEngine::EpochComponent> TwoPhaseEngine::split_components(
   }
 
   std::vector<int> comp_of_root(static_cast<std::size_t>(m), -1);
-  std::vector<EpochComponent> comps;
+  int count = 0;
   for (int rank = 0; rank < m; ++rank) {
     const int root = find(rank);
     int c = comp_of_root[static_cast<std::size_t>(root)];
     if (c < 0) {
-      c = static_cast<int>(comps.size());
+      c = count++;
       comp_of_root[static_cast<std::size_t>(root)] = c;
-      comps.emplace_back();
+      if (static_cast<int>(comp_pool_.size()) < count)
+        comp_pool_.emplace_back();
+      comp_pool_[static_cast<std::size_t>(c)].owned_ranks.clear();
+      comp_pool_[static_cast<std::size_t>(c)].owned_ids.clear();
     }
-    comps[static_cast<std::size_t>(c)].ranks.push_back(rank);
-    comps[static_cast<std::size_t>(c)].ids.push_back(
+    comp_pool_[static_cast<std::size_t>(c)].owned_ranks.push_back(rank);
+    comp_pool_[static_cast<std::size_t>(c)].owned_ids.push_back(
         members[static_cast<std::size_t>(rank)]);
   }
-  for (EpochComponent& comp : comps) {
-    // Stable component key: the epoch and the component's first member.
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(group))
-         << 32) ^
-        static_cast<std::uint64_t>(
-            static_cast<std::uint32_t>(comp.ids.front()));
-    comp.oracle = oracle_->component_clone(key);
+  for (int c = 0; c < count; ++c) {
+    EpochComponent& comp = comp_pool_[static_cast<std::size_t>(c)];
+    comp.ranks = {comp.owned_ranks.data(), comp.owned_ranks.size()};
+    comp.ids = {comp.owned_ids.data(), comp.owned_ids.size()};
+    comp.stream_key = component_stream_key(group, comp.ids.front());
+    // Eager clone, as PR 3's recompute did (the forest path clones
+    // lazily in run_component instead).
+    comp.oracle = oracle_->component_clone(comp.stream_key);
     TS_REQUIRE(comp.oracle != nullptr);
   }
-  return comps;
+  return count;
+}
+
+int TwoPhaseEngine::derive_components(const std::vector<InstanceId>& members,
+                                      int group) {
+  // The forest already holds this epoch's partition; deriving is pure
+  // span slicing — O(|members| + #components) instead of the legacy
+  // union-find's O(sum path) clique chains.  Oracles are NOT cloned
+  // here: run_component clones lazily once a frontier scan finds an
+  // unsatisfied member (the monotone-frontier filter), so a fully
+  // satisfied component costs neither a clone nor a stream.  Clone
+  // streams derive from (seed, key), never from the parent oracle's
+  // state, so the laziness cannot shift any component's randomness.
+  const int m = static_cast<int>(members.size());
+  for (int rank = 0; rank < m; ++rank)
+    rank_of_[static_cast<std::size_t>(members[static_cast<std::size_t>(rank)])] =
+        rank;
+  const int count = forest_.components_in_group(group);
+  if (static_cast<int>(comp_pool_.size()) < count)
+    comp_pool_.resize(static_cast<std::size_t>(count));
+  for (int c = 0; c < count; ++c) {
+    EpochComponent& comp = comp_pool_[static_cast<std::size_t>(c)];
+    comp.ranks = forest_.component_ranks(group, c);
+    comp.ids = forest_.component_ids(group, c);
+    comp.stream_key = component_stream_key(group, comp.ids.front());
+    comp.oracle.reset();
+  }
+  return count;
+}
+
+int TwoPhaseEngine::clamp_workers(int work_items) const {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(
+      1, std::min({config_.threads, work_items,
+                   hw > 0 ? static_cast<int>(hw) : config_.threads}));
 }
 
 void TwoPhaseEngine::run_component(EpochComponent& comp,
                                    const RaiseRule& rule,
-                                   const StageSchedule& sched, int group) {
-  comp.stages.assign(static_cast<std::size_t>(sched.stages_per_epoch), {});
-  std::vector<InstanceId> unsat;
-  std::vector<double> increments;
-  std::vector<std::size_t> order;
+                                   const StageSchedule& sched, int group,
+                                   WorkerScratch& scratch) {
+  comp.reset_log(sched.stages_per_epoch);
+  std::vector<InstanceId>& unsat = scratch.unsat;
+  std::vector<double>& increments = scratch.increments;
+  std::vector<std::pair<int, double>>& selected = scratch.selected;
   for (int j = 1; j <= sched.stages_per_epoch; ++j) {
     const double target = stage_target(sched, j);
-    auto& steps = comp.stages[static_cast<std::size_t>(j - 1)];
     int steps_this_stage = 0;
     bool scanned = false;
     for (;;) {
@@ -716,14 +791,21 @@ void TwoPhaseEngine::run_component(EpochComponent& comp,
       // A finished component simply stops recording; the merge pads the
       // lockstep schedule's idle steps when *every* component is done.
       if (unsat.empty()) break;
+      // Lazy clone (forest path): the component proved it has frontier
+      // work, so it earns its oracle now.  component_clone is
+      // concurrency-safe on the parent and derives the stream from
+      // (seed, stream_key) alone — see MisOracle's contract.
+      if (comp.oracle == nullptr) {
+        comp.oracle = oracle_->component_clone(comp.stream_key);
+        TS_REQUIRE(comp.oracle != nullptr);
+      }
       const MisResult mis = comp.oracle->run(
           std::span<const InstanceId>(unsat.data(), unsat.size()));
       ++steps_this_stage;
-      EpochComponent::Step st;
-      st.rounds = mis.rounds;
       if (mis.selected.empty()) {
         comp.mis_failed = true;
-        steps.push_back(std::move(st));
+        comp.step_rounds.push_back(mis.rounds);
+        comp.step_begin.push_back(static_cast<int>(comp.rank_log.size()));
         if (!config_.lockstep) {
           comp.ended_short = true;
           break;
@@ -731,6 +813,7 @@ void TwoPhaseEngine::run_component(EpochComponent& comp,
         TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
         continue;
       }
+      selected.clear();
       for (InstanceId i : mis.selected) {
         const DemandInstance& inst = problem_->instance(i);
         const auto& critical =
@@ -743,62 +826,72 @@ void TwoPhaseEngine::run_component(EpochComponent& comp,
         // In-component application only; out-of-group propagation is the
         // merge's job (in deterministic order).
         propagate_raise(i, delta, increments, PropScope::kInGroup, group);
-        st.ranks.push_back(rank_of_[static_cast<std::size_t>(i)]);
-        st.deltas.push_back(delta);
+        selected.emplace_back(rank_of_[static_cast<std::size_t>(i)], delta);
       }
       // Log in ascending member rank (randomized oracles report winners
       // in decision order; raises within a step commute, so rank order is
-      // safe and deterministic).
-      order.resize(st.ranks.size());
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      std::sort(order.begin(), order.end(), [&](std::size_t a,
-                                                std::size_t b) {
-        return st.ranks[a] < st.ranks[b];
-      });
-      EpochComponent::Step sorted;
-      sorted.rounds = st.rounds;
-      sorted.ranks.reserve(st.ranks.size());
-      sorted.deltas.reserve(st.deltas.size());
-      for (std::size_t k : order) {
-        sorted.ranks.push_back(st.ranks[k]);
-        sorted.deltas.push_back(st.deltas[k]);
+      // safe and deterministic).  Ranks are unique, so the pair sort is
+      // a rank sort.
+      std::sort(selected.begin(), selected.end());
+      comp.step_rounds.push_back(mis.rounds);
+      for (const auto& [rank, delta] : selected) {
+        comp.rank_log.push_back(rank);
+        comp.delta_log.push_back(delta);
       }
-      steps.push_back(std::move(sorted));
+      comp.step_begin.push_back(static_cast<int>(comp.rank_log.size()));
       TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
     }
+    comp.stage_begin.push_back(static_cast<int>(comp.step_rounds.size()));
   }
 }
 
 void TwoPhaseEngine::merge_components(
-    std::vector<EpochComponent>& comps,
-    const std::vector<InstanceId>& members, const RaiseRule& rule,
-    const StageSchedule& sched, int group, double& objective,
-    SolveStats& stats, std::vector<std::vector<InstanceId>>& stack,
+    int comp_count, const std::vector<InstanceId>& members,
+    const RaiseRule& rule, const StageSchedule& sched, int group,
+    double& objective, SolveStats& stats,
+    std::vector<std::vector<InstanceId>>& stack,
     std::vector<InstanceId>& raised_order) {
-  std::vector<std::pair<int, double>> merged;
-  std::vector<double> increments;
+  // Phase A (serial, cheap): k-way merge of the per-component decision
+  // logs by (stage, step) into the chronological raise order, with the
+  // serial bookkeeping — objective accumulation, stack rows, stats,
+  // message counting — exactly as the serial engine interleaves it.
+  // The raises themselves are only *logged* (ids, deltas and the
+  // per-critical-edge increment slabs); their out-of-group propagation
+  // is deferred to Phase B below, which is safe because nothing reads an
+  // out-of-group LHS before the next epoch.
+  const std::span<EpochComponent> comps{comp_pool_.data(),
+                                        static_cast<std::size_t>(comp_count)};
+  std::vector<double>& increments = worker_scratch_.front().increments;
+  merge_log_ids_.clear();
+  merge_log_deltas_.clear();
+  merge_inc_begin_.assign(1, 0);
+  merge_inc_values_.clear();
+  // Estimated Phase-B application count (sum of the logged raises'
+  // CSR bucket sizes): decides deterministically whether the deferred
+  // propagation is worth a worker pool or should just run inline.
+  std::int64_t deferred_fanout = 0;
   for (int j = 1; j <= sched.stages_per_epoch; ++j) {
     ++stats.stages;
-    std::size_t max_steps = 0;
+    int max_steps = 0;
     for (const EpochComponent& comp : comps)
-      max_steps = std::max(
-          max_steps, comp.stages[static_cast<std::size_t>(j - 1)].size());
-    const std::size_t stage_steps =
-        config_.lockstep ? static_cast<std::size_t>(sched.lockstep_budget)
-                         : max_steps;
+      max_steps = std::max(max_steps, comp.steps_in_stage(j - 1));
+    const int stage_steps =
+        config_.lockstep ? sched.lockstep_budget : max_steps;
     int counted = 0;
     bool stage_broken = false;
-    for (std::size_t t = 0; t < stage_steps && !stage_broken; ++t) {
-      merged.clear();
+    for (int t = 0; t < stage_steps && !stage_broken; ++t) {
+      merge_row_.clear();
       int rounds_t = 0;
       bool any_component = false;
       for (const EpochComponent& comp : comps) {
-        const auto& steps = comp.stages[static_cast<std::size_t>(j - 1)];
-        if (t >= steps.size()) continue;
+        if (t >= comp.steps_in_stage(j - 1)) continue;
         any_component = true;
-        rounds_t = std::max(rounds_t, steps[t].rounds);
-        for (std::size_t k = 0; k < steps[t].ranks.size(); ++k)
-          merged.emplace_back(steps[t].ranks[k], steps[t].deltas[k]);
+        const auto s = static_cast<std::size_t>(
+            comp.stage_begin[static_cast<std::size_t>(j - 1)] + t);
+        rounds_t = std::max(rounds_t, comp.step_rounds[s]);
+        for (int k = comp.step_begin[s]; k < comp.step_begin[s + 1]; ++k)
+          merge_row_.emplace_back(comp.rank_log[static_cast<std::size_t>(k)],
+                                  comp.delta_log[static_cast<std::size_t>(k)]);
       }
       ++stats.steps;
       ++counted;
@@ -815,22 +908,32 @@ void TwoPhaseEngine::merge_components(
       // synchronous rounds.
       stats.mis_rounds += rounds_t;
       stats.comm_rounds += rounds_t + 1;
-      if (merged.empty()) {
+      if (merge_row_.empty()) {
         stats.mis_ok = false;
         if (!config_.lockstep) stage_broken = true;
         continue;
       }
-      std::sort(merged.begin(), merged.end());
+      std::sort(merge_row_.begin(), merge_row_.end());
       std::vector<InstanceId> row;
-      row.reserve(merged.size());
-      for (const auto& [rank, delta] : merged) {
+      row.reserve(merge_row_.size());
+      for (const auto& [rank, delta] : merge_row_) {
         const InstanceId i = members[static_cast<std::size_t>(rank)];
         const DemandInstance& inst = problem_->instance(i);
         const auto& critical =
             plan_->critical[static_cast<std::size_t>(i)];
         rule.beta_increments(inst, critical, delta, increments);
-        propagate_raise(i, delta, increments, PropScope::kOutOfGroup,
-                        group);
+        merge_log_ids_.push_back(i);
+        merge_log_deltas_.push_back(delta);
+        merge_inc_values_.insert(merge_inc_values_.end(), increments.begin(),
+                                 increments.end());
+        merge_inc_begin_.push_back(
+            static_cast<std::int64_t>(merge_inc_values_.size()));
+        for (const EdgeId e : critical)
+          deferred_fanout += static_cast<std::int64_t>(
+              problem_->instances_on_edge(e).size());
+        if (config_.raise_alpha)
+          deferred_fanout += static_cast<std::int64_t>(
+              problem_->instances_of_demand(inst.demand).size());
         bookkeep_raise(i, delta, increments, objective, stats,
                        raised_order);
         row.push_back(i);
@@ -842,6 +945,80 @@ void TwoPhaseEngine::merge_components(
   for (const EpochComponent& comp : comps) {
     if (comp.mis_failed) stats.mis_ok = false;
     if (comp.ended_short) stats.lockstep_ok = false;
+  }
+
+  // Phase B: the deferred out-of-group propagation, partitioned by
+  // target instance id across the worker pool.  Shard k's increments
+  // arrive in chronological order within its partition — the order the
+  // serial replay would apply them in — so any worker count yields the
+  // identical floating-point state.
+  if (merge_log_ids_.empty()) return;
+  const InstanceId n = problem_->num_instances();
+  // A small log is applied inline: below this many estimated bucket
+  // applications, thread create/join would cost more than the work.
+  // Any deterministic threshold is parity-safe — serial and parallel
+  // application produce the identical state.
+  constexpr std::int64_t kParallelFanoutFloor = 4096;
+  const int workers = deferred_fanout < kParallelFanoutFloor
+                          ? 1
+                          : clamp_workers(static_cast<int>(n));
+  if (workers > 1) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    const auto range_begin = [&](int w) {
+      return static_cast<InstanceId>(
+          static_cast<std::int64_t>(n) * w / workers);
+    };
+    for (int w = 1; w < workers; ++w)
+      pool.emplace_back([this, group, &range_begin, w] {
+        apply_deferred_raises(group, range_begin(w), range_begin(w + 1));
+      });
+    apply_deferred_raises(group, range_begin(0), range_begin(1));
+    for (std::thread& t : pool) t.join();
+  } else {
+    apply_deferred_raises(group, 0, n);
+  }
+}
+
+void TwoPhaseEngine::apply_deferred_raises(int group, InstanceId lo,
+                                           InstanceId hi) {
+  const auto in_scope = [&](InstanceId k) {
+    return is_active(k) &&
+           plan_->group[static_cast<std::size_t>(k)] != group;
+  };
+  const std::size_t raises = merge_log_ids_.size();
+  for (std::size_t r = 0; r < raises; ++r) {
+    const InstanceId i = merge_log_ids_[r];
+    const DemandInstance& inst = problem_->instance(i);
+    const double delta = merge_log_deltas_[r];
+    const double* inc =
+        merge_inc_values_.data() + merge_inc_begin_[r];
+    if (config_.raise_alpha) {
+      const auto& sibs = problem_->instances_of_demand(inst.demand);
+      for (auto it = std::lower_bound(sibs.begin(), sibs.end(), lo);
+           it != sibs.end() && *it < hi; ++it) {
+        if (!in_scope(*it)) continue;
+        shards_[static_cast<std::size_t>(*it)].raise_alpha(delta);
+        lhs_fresh_[static_cast<std::size_t>(*it)] = 0;
+      }
+    }
+    const auto& critical = plan_->critical[static_cast<std::size_t>(i)];
+    for (std::size_t c = 0; c < critical.size(); ++c) {
+      const EdgeId e = critical[c];
+      const auto bucket = problem_->instances_on_edge(e);
+      const InstanceId* base = bucket.data();
+      const int* pos =
+          edge_pos_.data() + edge_pos_offset_[static_cast<std::size_t>(e)];
+      const InstanceId* s = std::lower_bound(base, base + bucket.size(), lo);
+      const InstanceId* t = std::lower_bound(s, base + bucket.size(), hi);
+      for (const InstanceId* p = s; p < t; ++p) {
+        const InstanceId k = *p;
+        if (!in_scope(k)) continue;
+        shards_[static_cast<std::size_t>(k)].raise_beta_at(
+            pos[p - base], inc[c]);
+        lhs_fresh_[static_cast<std::size_t>(k)] = 0;
+      }
+    }
   }
 }
 
@@ -952,6 +1129,19 @@ SolveResult solve_height_split(const Problem& problem, const LayeredPlan& plan,
   combined.stats.merge(parts[1].stats);
   combined.stats.profit = combined.solution.profit(problem);
   return combined;
+}
+
+std::int64_t better_of_convergecast_rounds(const Problem& problem) {
+  // Each network aggregates its two candidate per-network profits up the
+  // tree (max depth rounds), the root compares (1 round) and broadcasts
+  // the winner down (max depth rounds); all networks cast concurrently.
+  int max_depth = 0;
+  for (NetworkId q = 0; q < problem.num_networks(); ++q) {
+    const TreeNetwork& t = problem.network(q);
+    for (VertexId v = 0; v < t.num_vertices(); ++v)
+      max_depth = std::max(max_depth, t.depth(v));
+  }
+  return max_depth > 0 ? 2 * static_cast<std::int64_t>(max_depth) + 1 : 0;
 }
 
 Solution combine_better_of_per_network(const Problem& problem,

@@ -45,6 +45,7 @@
 
 #include "common/prelude.hpp"
 #include "decomp/layered.hpp"
+#include "framework/component_forest.hpp"
 #include "framework/dual_shard.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/raise_rule.hpp"
@@ -58,6 +59,18 @@ struct MisResult {
   int rounds = 1;  // communication rounds consumed by this MIS computation
 };
 
+// Stream key of one parallel-epoch component: the epoch (group) and the
+// component's first member in rank order.  One derivation shared by both
+// component decompositions (the persistent ComponentForest and the
+// legacy per-epoch recompute), so MisOracle::component_clone sees the
+// same key — and randomized oracles the same per-component stream — no
+// matter which path produced the partition.
+inline std::uint64_t component_stream_key(int group, InstanceId first_member) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(group))
+          << 32) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(first_member));
+}
+
 // Maximal independent set oracle over the instance conflict graph
 // (conflicting = same demand or overlapping paths; paper, Section 2).
 class MisOracle {
@@ -69,14 +82,24 @@ class MisOracle {
   // conflict-disjoint component of a group on its own worker, and each
   // worker needs a private oracle: component_clone returns one dedicated
   // to the component identified by `key` (stable across runs: derived
-  // from the epoch and the component's first member).  Deterministic
-  // oracles return an equivalent oracle — GreedyMis's clone reproduces
-  // the single-oracle run bit for bit.  Randomized oracles derive an
-  // independent stream from (seed, key), which keeps the run
-  // deterministic for any thread count but deliberately distinct from
-  // the serial single-stream run.  Oracles that cannot run
-  // component-local leave supports_component_clone() false; the engine
-  // then falls back to serial single-oracle execution.
+  // from the epoch and the component's first member — see
+  // component_stream_key below).  Deterministic oracles return an
+  // equivalent oracle — GreedyMis's clone reproduces the single-oracle
+  // run bit for bit.  Randomized oracles derive an independent stream
+  // from (seed, key), which keeps the run deterministic for any thread
+  // count but deliberately distinct from the serial single-stream run.
+  // Oracles that cannot run component-local leave
+  // supports_component_clone() false; the engine then falls back to
+  // serial single-oracle execution.
+  //
+  // Concurrency contract: the engine's forest path clones *lazily* from
+  // worker threads (a component only receives an oracle once its first
+  // frontier scan finds an unsatisfied member — fully satisfied
+  // components never pay for one), so component_clone must be safe to
+  // call concurrently on one parent oracle and must not mutate the
+  // parent (in particular it must not consume the parent's random
+  // stream — derive clone streams from (seed, key) instead, as LubyMis
+  // does).  All in-repo oracles satisfy this.
   virtual bool supports_component_clone() const { return false; }
   virtual std::unique_ptr<MisOracle> component_clone(std::uint64_t key) {
     (void)key;
@@ -154,14 +177,27 @@ struct SolverConfig {
   int max_steps_per_stage = 200000;
   // Phase-1 implementation (see EngineImpl above).
   EngineImpl engine = EngineImpl::kIncremental;
+  // Component decomposition of the parallel epoch path: true derives
+  // each epoch's conflict-disjoint components from the persistent
+  // ComponentForest (built once per run, filtered by the unsatisfied
+  // frontier); false re-runs the legacy per-epoch union-find
+  // (split_components) over the clique chains.  Both produce identical
+  // partitions — tests/test_component_forest.cpp compares the runs
+  // with == — the forest is just O(sum path) cheaper per epoch.
+  bool use_component_forest = true;
   // Worker threads for the incremental engine's parallel epoch execution:
   // each epoch's group is partitioned into conflict-disjoint components
   // (no raise in one component can touch the LHS of another's members —
   // the per-processor shards are the unit of parallelism), components run
   // on a pool of this many workers, and the results are merged in fixed
   // component order, so any threads >= 2 value yields the same output.
-  // Requires an oracle that supports component_clone(); otherwise, and
-  // with threads <= 1, epochs run serially.
+  // The number of threads actually *spawned* is additionally capped at
+  // std::thread::hardware_concurrency() — oversubscribing a CPU-bound
+  // lock-free pool only adds scheduler overhead, and the output is
+  // independent of the worker count by construction, so the cap cannot
+  // change any result.  Requires an oracle that supports
+  // component_clone(); otherwise, and with threads <= 1, epochs run
+  // serially.
   int threads = 1;
 };
 
@@ -191,6 +227,27 @@ struct SolveStats {
   // non-empty candidate pool.  A budgeted randomized oracle may fail
   // w.h.p.-rarely; the engine records an idle step instead of aborting.
   bool mis_ok = true;
+
+  // Wall-clock breakdown of the parallel epoch path (all zero on the
+  // serial and central paths).  Timing, not semantics: every field the
+  // parity suites compare with == is unaffected.
+  //   epoch_setup_ns   per-epoch component derivation: what the epoch
+  //                    loop pays serially before workers start — forest
+  //                    span slicing, or the legacy per-epoch union-find
+  //                    + eager oracle clones when use_component_forest
+  //                    is off.  NOTE the asymmetry: on the forest path
+  //                    the frontier filtering and the (lazy) clones
+  //                    happen inside run_component on the workers, so
+  //                    they are deliberately NOT in this counter —
+  //                    bench_f13 reports what that means for the
+  //                    comparison;
+  //   forest_build_ns  the one-time ComponentForest build of the run;
+  //   merge_ns         the deterministic merge — chronological replay,
+  //                    bookkeeping and the (parallel) deferred
+  //                    out-of-group propagation.
+  std::int64_t epoch_setup_ns = 0;
+  std::int64_t forest_build_ns = 0;
+  std::int64_t merge_ns = 0;
 
   // Merge for combined (wide + narrow) runs: counts add, bounds add,
   // lambda takes the min (0.0 = unset on either side), flags AND.
@@ -230,21 +287,56 @@ class TwoPhaseEngine {
     bool any_active = false;
   };
   // One conflict-disjoint component of an epoch's group, plus the
-  // decision log its worker records for the deterministic merge.
+  // decision log its worker records for the deterministic merge.  The
+  // member lists are spans (into the ComponentForest's flat storage, or
+  // into the owned_* vectors the legacy recompute fills), and the log is
+  // flat — stage s covers steps [stage_begin[s], stage_begin[s+1]) of
+  // step_rounds, step t's raises are entries
+  // [step_begin[t], step_begin[t+1]) of (rank_log, delta_log) — so a
+  // pooled component is reused across epochs without reallocating.
   struct EpochComponent {
-    std::vector<int> ranks;            // member ranks, ascending
-    std::vector<InstanceId> ids;       // members[rank], same order
+    std::span<const int> ranks;        // member ranks, ascending
+    std::span<const InstanceId> ids;   // members[rank], same order
+    // The oracle is cloned lazily on the forest path: run_component
+    // clones on first need (a frontier scan that found an unsatisfied
+    // member), so a fully satisfied component costs no clone.  The
+    // legacy recompute path clones eagerly, as PR 3 did.
+    std::uint64_t stream_key = 0;
     std::unique_ptr<MisOracle> oracle;
-    struct Step {
-      std::vector<int> ranks;          // raised members, ascending rank
-      std::vector<double> deltas;      // parallel to ranks
-      int rounds = 0;
-    };
-    std::vector<std::vector<Step>> stages;  // [stage - 1][step]
+    std::vector<int> stage_begin;      // size stages + 1
+    std::vector<int> step_begin;       // size total steps + 1
+    std::vector<int> step_rounds;      // per step
+    std::vector<int> rank_log;         // raised ranks, ascending per step
+    std::vector<double> delta_log;     // parallel to rank_log
     bool mis_failed = false;    // oracle returned empty on a non-empty pool
     bool ended_short = false;   // stage ended with unsatisfied members left
+    // Backing storage of the spans on the legacy (recompute) path.
+    std::vector<int> owned_ranks;
+    std::vector<InstanceId> owned_ids;
+    int steps_in_stage(int stage_index) const {
+      return stage_begin[static_cast<std::size_t>(stage_index) + 1] -
+             stage_begin[static_cast<std::size_t>(stage_index)];
+    }
+    void reset_log(int stages) {
+      stage_begin.clear();
+      stage_begin.reserve(static_cast<std::size_t>(stages) + 1);
+      stage_begin.push_back(0);
+      step_begin.assign(1, 0);
+      step_rounds.clear();
+      rank_log.clear();
+      delta_log.clear();
+      mis_failed = false;
+      ended_short = false;
+    }
   };
-  enum class PropScope { kAll, kInGroup, kOutOfGroup };
+  // Per-worker scratch of the parallel epoch path, reused across epochs
+  // and components so the hot loop stops allocating.
+  struct WorkerScratch {
+    std::vector<InstanceId> unsat;
+    std::vector<double> increments;
+    std::vector<std::pair<int, double>> selected;  // (rank, delta)
+  };
+  enum class PropScope { kAll, kInGroup };
 
   bool is_active(InstanceId i) const {
     return active_mask_[static_cast<std::size_t>(i)] != 0;
@@ -286,16 +378,37 @@ class TwoPhaseEngine {
                       std::span<const double> increments, double& objective,
                       SolveStats& stats,
                       std::vector<InstanceId>& raised_order);
-  std::vector<EpochComponent> split_components(
-      const std::vector<InstanceId>& members, int group);
+  // Component decomposition of one epoch, into comp_pool_[0..count).
+  // split_components is the legacy per-epoch union-find;
+  // derive_components slices the persistent forest — O(|members|) span
+  // setup, no clique-chain walk.  The frontier filtering happens inside
+  // run_component: a component whose scan never finds an unsatisfied
+  // member runs zero steps and never even clones an oracle.
+  int split_components(const std::vector<InstanceId>& members, int group);
+  int derive_components(const std::vector<InstanceId>& members, int group);
+  // Threads actually spawned for `work_items` units of parallel work:
+  // SolverConfig::threads, clamped by the work available and by
+  // hardware_concurrency (oversubscribing a CPU-bound lock-free pool
+  // only adds scheduler overhead; outputs are worker-count-independent
+  // by construction, so the clamp cannot change any result).  One
+  // policy shared by the component pool and the deferred-propagation
+  // pool.
+  int clamp_workers(int work_items) const;
   void run_component(EpochComponent& comp, const RaiseRule& rule,
-                     const StageSchedule& sched, int group);
-  void merge_components(std::vector<EpochComponent>& comps,
+                     const StageSchedule& sched, int group,
+                     WorkerScratch& scratch);
+  void merge_components(int comp_count,
                         const std::vector<InstanceId>& members,
                         const RaiseRule& rule, const StageSchedule& sched,
                         int group, double& objective, SolveStats& stats,
                         std::vector<std::vector<InstanceId>>& stack,
                         std::vector<InstanceId>& raised_order);
+  // Applies the epoch's deferred out-of-group raises (the merge log) to
+  // the shards of instances in [lo, hi).  Each target shard receives its
+  // increments in chronological order — the same order the serial replay
+  // applies them in — so partitioning [0, n) across workers reproduces
+  // the serial floating-point state bit for bit.
+  void apply_deferred_raises(int group, InstanceId lo, InstanceId hi);
 
   void count_notifications(InstanceId i, SolveStats& stats);
 
@@ -321,6 +434,20 @@ class TwoPhaseEngine {
   std::vector<int> comp_demand_stamp_, comp_demand_rank_;
   std::vector<int> rank_of_;
   int comp_stamp_ = 0;
+
+  // Persistent conflict-component forest (use_component_forest): built
+  // lazily on the first parallel run, invalidated by restrict_to().
+  ComponentForest forest_;
+  // Epoch arenas, reused across epochs: the component pool (flat logs
+  // keep their capacity), per-worker scratch, and the merge's
+  // chronological raise log with its per-raise increment slabs.
+  std::vector<EpochComponent> comp_pool_;
+  std::vector<WorkerScratch> worker_scratch_;
+  std::vector<std::pair<int, double>> merge_row_;
+  std::vector<InstanceId> merge_log_ids_;
+  std::vector<double> merge_log_deltas_;
+  std::vector<std::int64_t> merge_inc_begin_;
+  std::vector<double> merge_inc_values_;
 };
 
 // Wide/narrow classification of the arbitrary-height case (paper,
@@ -392,6 +519,18 @@ Solution prune_stack(const Problem& problem,
 Solution combine_better_of_per_network(const Problem& problem,
                                        const Solution& s1,
                                        const Solution& s2);
+
+// Honest round charge of the per-network better-of combination: each
+// network converge-casts the two per-network profit totals up its tree
+// (max depth rounds), the root compares (1 round) and broadcasts the
+// winner back down (max depth rounds); networks run concurrently, so
+// the charge is 2 * max depth + 1 over all networks.  Zero when the
+// problem has no edges to cast over.  Charged by the distributed
+// arbitrary-height solvers (src/dist/scheduler.cpp) and by the
+// message-level run_height_split_protocol whenever two passes were
+// actually combined — the round-identity tests assert exactly this
+// term.
+std::int64_t better_of_convergecast_rounds(const Problem& problem);
 
 // Ablation pruners (bench_f11): these do NOT carry the Lemma 3.1
 // guarantee; they exist to measure what the reverse-stack order buys.

@@ -72,6 +72,15 @@ void expect_parity(const Problem& p, const LayeredPlan& plan,
                      what + " threads=" + std::to_string(threads));
     require_feasible(p, got.solution);
   }
+  // The legacy per-epoch component recompute must coincide too — the
+  // persistent forest (the threads=4 default above) and the recompute
+  // are two implementations of one partition.
+  SolverConfig legacy = config;
+  legacy.engine = EngineImpl::kIncremental;
+  legacy.threads = 4;
+  legacy.use_component_forest = false;
+  expect_identical(ref, solve_with_plan(p, plan, legacy),
+                   what + " legacy-split threads=4");
 }
 
 TEST(EngineParity, TreeUnitAcrossLockstepAndThreads) {

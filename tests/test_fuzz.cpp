@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "decomp/layered.hpp"
+#include "dist/luby_mis.hpp"
 #include "dist/protocol_scheduler.hpp"
 #include "dist/scheduler.hpp"
 #include "exact/branch_and_bound.hpp"
@@ -153,8 +154,11 @@ TEST(Fuzz, RandomProblemsSolveUnderEveryPlan) {
 }
 
 // The exact two-pass round accounting identity of the message-level
-// protocol: rounds = discovery + sum_pass [tuples*(2L+1) + tuples].
-void require_protocol_identity(const ProtocolRunResult& run) {
+// protocol: rounds = discovery + sum_pass [tuples*(2L+1) + tuples]
+// + combine_rounds, where combine_rounds is the better-of converge-cast
+// of a genuinely two-pass run and zero otherwise.
+void require_protocol_identity(const Problem& p,
+                               const ProtocolRunResult& run) {
   std::int64_t pass_rounds = 0;
   for (const ProtocolPass& pass : run.passes) {
     ASSERT_EQ(pass.tuples, static_cast<std::int64_t>(pass.epochs) *
@@ -163,7 +167,10 @@ void require_protocol_identity(const ProtocolRunResult& run) {
               pass.tuples * (2 * run.luby_budget + 1) + pass.tuples);
     pass_rounds += pass.rounds;
   }
-  ASSERT_EQ(run.rounds, run.discovery_rounds + pass_rounds);
+  ASSERT_EQ(run.combine_rounds,
+            run.passes.size() == 2 ? better_of_convergecast_rounds(p) : 0);
+  ASSERT_EQ(run.rounds,
+            run.discovery_rounds + pass_rounds + run.combine_rounds);
   ASSERT_EQ(run.discovery_bytes,
             run.discovery_registration_bytes + run.discovery_reply_bytes);
 }
@@ -211,7 +218,7 @@ TEST(Fuzz, ProtocolOnRandomHeightsTreesAndLines) {
                                        ? run_tree_arbitrary_protocol(p, options)
                                        : run_line_arbitrary_protocol(p, options);
     const Profit profit = require_feasible(p, run.run.solution);
-    require_protocol_identity(run.run);
+    require_protocol_identity(p, run.run);
     EXPECT_TRUE(run.run.mis_ok) << "round " << round;
     EXPECT_TRUE(run.run.schedule_ok) << "round " << round;
     const Profit opt = testutil::exact_opt(p);
@@ -248,11 +255,66 @@ TEST(Fuzz, ProtocolOnRandomNonuniformCapacities) {
     options.seed = spec.seed;
     const ProtocolDistResult run = run_nonuniform_protocol(p, options);
     const Profit profit = require_feasible(p, run.run.solution);
-    require_protocol_identity(run.run);
+    require_protocol_identity(p, run.run);
     const Profit opt = testutil::exact_opt(p);
     EXPECT_GE(profit * run.ratio_bound, opt - 1e-6)
         << "round " << round << " law=" << to_string(spec.capacities)
         << " spread=" << spec.capacity_spread;
+  }
+}
+
+TEST(Fuzz, AdversarialFrontierShrinkAgreesAcrossAllEnginePaths) {
+  // ProtocolLubyMis with a Luby budget of 1 is a deliberately *weak* MIS
+  // oracle: each step decides only the per-clique (draw, id) minima and
+  // leaves everyone else undecided, so the unsatisfied frontier shrinks
+  // by a trickle across many steps *mid-stage* — the adversarial regime
+  // for the frontier compaction, the flat component logs and the
+  // forest's satisfied-component filter (components drain at wildly
+  // different rates, so late steps see mostly-finished epochs).  The
+  // oracle's randomness is addressed per instance, so every engine path
+  // — central, incremental serial, parallel with the forest, parallel
+  // with the legacy recompute — must still agree bit for bit.
+  for (int round = 0; round < 4; ++round) {
+    const auto seed = 1100 + static_cast<std::uint64_t>(round);
+    const Problem p = testutil::small_tree_problem(
+        seed, 26, 2, 14,
+        round % 2 ? HeightLaw::kBimodal : HeightLaw::kUnit);
+    const LayeredPlan plan = build_tree_layered_plan(
+        p, round % 2 ? DecompKind::kRootFixing : DecompKind::kIdeal);
+    SolverConfig config;
+    config.keep_stack = true;
+    config.lockstep = round >= 2;  // budget-short stages on these rounds
+    config.rule = p.unit_height() ? RaiseRuleKind::kUnit
+                                  : RaiseRuleKind::kNarrow;
+    config.engine = EngineImpl::kCentralReference;
+    ProtocolLubyMis central_oracle(p, seed, /*luby_budget=*/1);
+    const SolveResult ref = solve_with_plan(p, plan, config, &central_oracle);
+    require_feasible(p, ref.solution);
+    for (const int threads : {1, 4}) {
+      for (const bool forest : {true, false}) {
+        SolverConfig incremental = config;
+        incremental.engine = EngineImpl::kIncremental;
+        incremental.threads = threads;
+        incremental.use_component_forest = forest;
+        ProtocolLubyMis oracle(p, seed, /*luby_budget=*/1);
+        const SolveResult got = solve_with_plan(p, plan, incremental,
+                                                &oracle);
+        const std::string what = "round " + std::to_string(round) +
+                                 " threads=" + std::to_string(threads) +
+                                 " forest=" + std::to_string(forest);
+        ASSERT_EQ(ref.solution.selected, got.solution.selected) << what;
+        ASSERT_EQ(ref.raise_stack, got.raise_stack) << what;
+        ASSERT_EQ(ref.stats.steps, got.stats.steps) << what;
+        ASSERT_EQ(ref.stats.raises, got.stats.raises) << what;
+        // Doubles with ==: bit-identical, not merely close.
+        ASSERT_EQ(ref.stats.dual_objective, got.stats.dual_objective)
+            << what;
+        ASSERT_EQ(ref.stats.lambda_observed, got.stats.lambda_observed)
+            << what;
+        ASSERT_EQ(ref.stats.lockstep_ok, got.stats.lockstep_ok) << what;
+        ASSERT_EQ(ref.stats.mis_ok, got.stats.mis_ok) << what;
+      }
+    }
   }
 }
 

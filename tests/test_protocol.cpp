@@ -168,7 +168,12 @@ TEST(Protocol, TwoPassAccountingIdentity) {
               pass.tuples * (2 * run.luby_budget + 1) + pass.tuples);
     pass_rounds += pass.rounds;
   }
-  EXPECT_EQ(run.rounds, run.discovery_rounds + pass_rounds);
+  // Two passes actually combined: the better-of converge-cast is charged
+  // on top of the tuple schedule.
+  EXPECT_EQ(run.combine_rounds, better_of_convergecast_rounds(p));
+  EXPECT_GT(run.combine_rounds, 0);
+  EXPECT_EQ(run.rounds,
+            run.discovery_rounds + pass_rounds + run.combine_rounds);
   EXPECT_TRUE(run.schedule_ok);
   EXPECT_GE(run.lambda_observed, 1.0 - options.epsilon - 1e-6);
 }

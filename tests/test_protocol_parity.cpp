@@ -80,8 +80,10 @@ SolverConfig mirror_config(const ProtocolOptions& options,
   return config;
 }
 
-// Asserts the exact per-pass and whole-run round accounting identities.
-void expect_round_identity(const ProtocolRunResult& run,
+// Asserts the exact per-pass and whole-run round accounting identities,
+// including the converge-cast the better-of combination of a two-pass
+// run is charged (zero for single-pass runs).
+void expect_round_identity(const Problem& p, const ProtocolRunResult& run,
                            const std::string& what) {
   std::int64_t pass_rounds = 0;
   for (const ProtocolPass& pass : run.passes) {
@@ -93,7 +95,12 @@ void expect_round_identity(const ProtocolRunResult& run,
         << what;
     pass_rounds += pass.rounds;
   }
-  EXPECT_EQ(run.rounds, run.discovery_rounds + pass_rounds) << what;
+  EXPECT_EQ(run.combine_rounds,
+            run.passes.size() == 2 ? better_of_convergecast_rounds(p) : 0)
+      << what;
+  EXPECT_EQ(run.rounds,
+            run.discovery_rounds + pass_rounds + run.combine_rounds)
+      << what;
   EXPECT_EQ(run.discovery_rounds, 2) << what;
   EXPECT_EQ(run.discovery_bytes,
             run.discovery_registration_bytes + run.discovery_reply_bytes)
@@ -124,7 +131,7 @@ void expect_single_pass_parity(const Problem& p, const LayeredPlan& plan,
   const ProtocolRunResult run = run_distributed_protocol(p, plan, options);
   ASSERT_EQ(run.passes.size(), 1u) << what;
   require_feasible(p, run.solution);
-  expect_round_identity(run, what);
+  expect_round_identity(p, run, what);
   EXPECT_EQ(run.luby_budget, options.luby_budget > 0
                                  ? options.luby_budget
                                  : default_luby_budget(p.num_instances()))
@@ -166,7 +173,7 @@ void expect_split_parity(const Problem& p, const LayeredPlan& plan,
   options.keep_stack = true;
   const ProtocolRunResult run = run_height_split_protocol(p, plan, options);
   require_feasible(p, run.solution);
-  expect_round_identity(run, what);
+  expect_round_identity(p, run, what);
 
   const HeightClasses classes = classify_wide_narrow(p);
   const std::size_t expected_passes =

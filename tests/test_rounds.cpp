@@ -130,6 +130,40 @@ TEST(Rounds, CommRoundsEqualSumOfLubyOracleRounds) {
   }
 }
 
+TEST(Rounds, BetterOfCombinationChargesConvergecast) {
+  // The arbitrary-height solvers' per-network better-of combination is
+  // charged an honest converge-cast (2 * max depth + 1 rounds): the
+  // extended identity is comm_rounds = mis_rounds + steps + converge-
+  // cast when both classes ran, and the unit solvers (one class, nothing
+  // to combine) keep the original identity.
+  TreeScenarioSpec spec;
+  spec.num_vertices = 24;
+  spec.num_networks = 2;
+  spec.demands.num_demands = 12;
+  spec.demands.heights = HeightLaw::kBimodal;
+  spec.demands.height_min = 0.4;
+  spec.demands.profit_max = 50.0;
+  spec.seed = 31;
+  const Problem p = make_tree_problem(spec);
+  bool has_wide = false, has_narrow = false;
+  for (InstanceId i = 0; i < p.num_instances(); ++i)
+    (is_wide_instance(p.instance(i)) ? has_wide : has_narrow) = true;
+  ASSERT_TRUE(has_wide && has_narrow);
+
+  DistOptions options;
+  options.epsilon = 0.35;
+  const DistResult split = solve_tree_arbitrary_distributed(p, options);
+  const std::int64_t cast = better_of_convergecast_rounds(p);
+  EXPECT_GT(cast, 0);
+  EXPECT_EQ(split.stats.comm_rounds,
+            split.stats.mis_rounds + split.stats.steps + cast);
+
+  const Problem unit = profit_range_problem(7, 32.0);
+  const DistResult one_class = solve_tree_unit_distributed(unit, options);
+  EXPECT_EQ(one_class.stats.comm_rounds,
+            one_class.stats.mis_rounds + one_class.stats.steps);
+}
+
 TEST(Rounds, MoreStagesForSmallerHmin) {
   // Section 6: the narrow schedule runs O((1/h_min) log(1/eps)) stages.
   TreeScenarioSpec spec;

@@ -24,6 +24,14 @@ insufficiency cannot hide inside a tolerance.
 Usage:
   tools/perf_trajectory.py --baseline-dir bench/baselines --current-dir build
 Exit status 0 = no gating regressions, 1 = regression or shape mismatch.
+
+Baseline regeneration:
+  tools/perf_trajectory.py --update [names...]
+copies the current run's BENCH_*.json files over the committed baselines
+(all of them, or only the benches whose id contains one of the given
+names, e.g. `--update f12 f13`), prints what changed, and exits 0.  Use
+after an intentional perf-characteristic change, then commit the diff —
+the gate itself never rewrites baselines.
 """
 
 import argparse
@@ -40,10 +48,14 @@ import sys
 GATED_UP = ("rounds", "steps", "epochs", "raises", "ratio")
 GATED_SUFFIXES = ("_rounds", "_steps", "_messages", "_bytes", "_raises",
                   "_ratio", "_gap")
-# Metrics reported but never gating.
+# Metrics reported but never gating.  *_speedup covers the engine
+# throughput and epoch-setup ratios (f12/f13): same-machine ratios, but
+# still wall-clock-derived, so informational like the _ms/_ns fields
+# they come from.
 INFORMATIONAL = ("wall_ms", "steps_per_sec", "profit", "speedup", "ns",
                  "time_ms")
-INFO_SUFFIXES = ("_ms", "_ns", "_per_sec", "_profit", "_share", "_bound")
+INFO_SUFFIXES = ("_ms", "_ns", "_per_sec", "_profit", "_share", "_bound",
+                 "_speedup")
 
 
 def classify(field):
@@ -122,13 +134,52 @@ def check_series(name, baseline, current, tolerance):
     return failures, notes
 
 
+def update_baselines(args):
+    produced = sorted(f for f in os.listdir(args.current_dir)
+                      if f.startswith("BENCH_") and f.endswith(".json"))
+    if args.names:
+        produced = [f for f in produced
+                    if any(name in f for name in args.names)]
+    if not produced:
+        print(f"--update: no matching BENCH_*.json under {args.current_dir}",
+              file=sys.stderr)
+        return 1
+    os.makedirs(args.baseline_dir, exist_ok=True)
+    for fname in produced:
+        src = os.path.join(args.current_dir, fname)
+        dst = os.path.join(args.baseline_dir, fname)
+        # Validate before copying: a truncated or malformed run must not
+        # become the committed truth.
+        load(src)
+        fresh = not os.path.exists(dst)
+        with open(src, "rb") as f:
+            payload = f.read()
+        with open(dst, "wb") as f:
+            f.write(payload)
+        print(f"  updated: {dst}" + (" (new baseline)" if fresh else ""))
+    print(f"--update: {len(produced)} baseline(s) regenerated; review and "
+          f"commit the diff")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", default="bench/baselines")
     parser.add_argument("--current-dir", default="build")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed relative regression on gated metrics")
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate baselines from the current run "
+                             "instead of gating against them")
+    parser.add_argument("names", nargs="*",
+                        help="with --update: only benches whose file name "
+                             "contains one of these substrings")
     args = parser.parse_args()
+
+    if args.update:
+        return update_baselines(args)
+    if args.names:
+        parser.error("bench name filters are only valid with --update")
 
     baselines = sorted(f for f in os.listdir(args.baseline_dir)
                        if f.startswith("BENCH_") and f.endswith(".json"))
