@@ -36,6 +36,7 @@
 #include "common/table.hpp"
 #include "decomp/layered.hpp"
 #include "framework/two_phase.hpp"
+#include "obs/trace.hpp"
 #include "workload/scenario.hpp"
 
 using namespace treesched;
@@ -80,6 +81,12 @@ Measurement run_engine(const Problem& p, const LayeredPlan& plan,
   const auto start = std::chrono::steady_clock::now();
   const SolveResult run = solve_with_plan(p, plan, config);
   const auto stop = std::chrono::steady_clock::now();
+  if (!run.stats.mis_ok)
+    std::fprintf(stderr,
+                 "WARNING: %s: MIS budget exhausted in %lld step(s) "
+                 "(mis_ok=0) — the run degraded\n",
+                 arm.name,
+                 static_cast<long long>(run.stats.mis_failed_steps));
   Measurement m;
   m.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
   m.steps = run.stats.steps;
@@ -117,7 +124,17 @@ Problem tree_workload(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=PATH: after the measured sweep, one extra traced run of the
+  // largest lockstep line workload on the incr-t4 arm, dumped as a
+  // Chrome trace.  The trace run is *outside* every measurement, so the
+  // emitted BENCH series and the speedup gate are unaffected.
+  std::string trace_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+  }
+
   print_claim("F12  phase-1 engine throughput (incremental vs central)",
               "the frontier/shard engine eliminates the per-step "
               "O(|members| * path_len) rescan; >= 5x wall-clock at the "
@@ -222,6 +239,25 @@ int main() {
               "per-epoch setup and the deferred merge parallelizes the "
               "out-of-group propagation, so the t4 arm's overhead vs t1 "
               "shrinks relative to the PR 4 merge.\n");
+  if (!trace_path.empty()) {
+    const Problem p = line_workload(2048);
+    const LayeredPlan plan = build_line_layered_plan(p);
+    const Arm* traced_arm = nullptr;
+    for (const Arm& arm : kArms)
+      if (std::string(arm.name) == "incr-t4") traced_arm = &arm;
+    obs::enable_tracing();
+    run_engine(p, plan, *traced_arm, /*lockstep=*/true);
+    obs::disable_tracing();
+    if (obs::write_chrome_trace(trace_path))
+      std::printf("trace written to %s (largest lockstep line workload, "
+                  "incr-t4; summarize with tools/trace_report.py)\n",
+                  trace_path.c_str());
+    else
+      std::fprintf(stderr, "could not write trace to %s (tracing compiled "
+                           "out, or path not writable)\n",
+                   trace_path.c_str());
+  }
+
   // The speedup gate is enforced, not just printed: a nonzero exit fails
   // the CI perf step.  It is a ratio of two runs on the same machine, so
   // host speed cancels out, and the measured ~12-15x leaves 2-3x headroom

@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "capacity/nonuniform.hpp"
 #include "dist/scheduler.hpp"
+#include "obs/trace.hpp"
 #include "workload/scenario.hpp"
 
 using namespace treesched;
@@ -50,7 +51,16 @@ Problem make_line(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=PATH: one extra traced protocol run (tree wide/narrow,
+  // seed 1) after the measured sweep, dumped as a Chrome trace; the
+  // emitted BENCH series is unaffected.
+  std::string trace_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+  }
+
   print_claim("T6  message-level protocol vs modeled engine",
               "the fixed wire schedule spends discovery + sum_pass "
               "tuples*(2L+1) + tuples rounds; the modeled run only counts "
@@ -136,6 +146,25 @@ int main() {
   }
   table.print(std::cout);
   emit_json("t6_protocol_wire", runs);
+
+  if (!trace_path.empty()) {
+    const Problem p = make_tree(11, HeightLaw::kBimodal,
+                                CapacityLaw::kUniform, 1.0);
+    ProtocolOptions options;
+    options.epsilon = eps;
+    options.seed = 1;
+    obs::enable_tracing();
+    run_tree_arbitrary_protocol(p, options);
+    obs::disable_tracing();
+    if (obs::write_chrome_trace(trace_path))
+      std::printf("trace written to %s (tree wide/narrow protocol, seed 1; "
+                  "summarize with tools/trace_report.py)\n",
+                  trace_path.c_str());
+    else
+      std::fprintf(stderr, "could not write trace to %s (tracing compiled "
+                           "out, or path not writable)\n",
+                   trace_path.c_str());
+  }
 
   std::printf("\nexpected shape: wire rounds 10^2-10^4x the modeled count — "
               "the modeled run is adaptive (it stops when a stage is "

@@ -113,6 +113,11 @@ inline double time_kernel_ns(Fn&& fn, int min_iters = 3,
 // silently stopped sufficing re-keys its rows and fails the perf gate.
 inline void append_protocol_fields(JsonRecord& row,
                                    const ProtocolRunResult& run) {
+  if (!run.mis_ok)
+    std::fprintf(stderr,
+                 "WARNING: Luby budget exhausted with undecided nodes "
+                 "(mis_ok=0) — the protocol run degraded; the re-keyed "
+                 "row will fail the perf-trajectory gate\n");
   row.emplace_back("protocol_rounds", static_cast<double>(run.rounds));
   row.emplace_back("protocol_messages", static_cast<double>(run.messages));
   row.emplace_back("protocol_bytes", static_cast<double>(run.bytes));

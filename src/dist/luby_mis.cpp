@@ -5,6 +5,7 @@
 
 #include "dist/discovery.hpp"
 #include "dist/runtime.hpp"
+#include "obs/metrics.hpp"
 
 namespace treesched {
 
@@ -216,6 +217,7 @@ MisResult LubyMis::run(std::span<const InstanceId> candidates) {
   // The paper's accounting: 2 synchronous rounds per Luby iteration
   // (draw exchange + winner notification).
   result.rounds = 2 * std::max(iterations, 1);
+  TRACE_HIST("mis.luby_iterations", iterations);
   return result;
 }
 
@@ -274,7 +276,9 @@ MisResult ProtocolLubyMis::run(std::span<const InstanceId> candidates) {
   std::vector<InstanceId> next;
   std::vector<Rng>& streams = *streams_;
 
+  int iterations_used = 0;
   for (int iter = 0; iter < budget_ && !live.empty(); ++iter) {
+    ++iterations_used;
     ++stamp_;
 
     // Each live node draws from its own stream (the protocol's round 1),
@@ -337,6 +341,12 @@ MisResult ProtocolLubyMis::run(std::span<const InstanceId> candidates) {
   // The protocol sorts a step's accumulated winners before raising;
   // undecided leftovers (budget exhausted) are simply not selected.
   std::sort(result.selected.begin(), result.selected.end());
+  TRACE_HIST("mis.budget_iterations_used", iterations_used);
+  if (!live.empty()) {
+    TRACE_COUNTER("mis.budget_exhausted_steps", 1);
+    TRACE_COUNTER("mis.budget_undecided_nodes",
+                  static_cast<std::int64_t>(live.size()));
+  }
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include "dist/runtime.hpp"
 #include "framework/dual_shard.hpp"
 #include "framework/two_phase.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace treesched {
 
@@ -41,6 +43,7 @@ struct ProtocolState {
     // conflict neighborhoods are *discovered*, not built: the 2-round
     // edge-owner rendezvous replaces the global ConflictGraph and is
     // charged to the same counters as every other protocol round.
+    TRACE_SPAN1("protocol", "discovery", "instances", n);
     std::vector<InstanceId> all(static_cast<std::size_t>(n));
     for (InstanceId i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
     hood = discover_conflicts(problem, {all.data(), all.size()}, rt);
@@ -64,10 +67,13 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
   const std::int64_t messages_before = st.rt.messages_sent();
   const std::int64_t bytes_before = st.rt.bytes_sent();
 
+  obs::SpanGuard pass_span("protocol", "pass", "rule",
+                           static_cast<std::int64_t>(kind));
   ProtocolPass pass;
   pass.rule = kind;
   for (InstanceId i = 0; i < n; ++i)
     if (active[static_cast<std::size_t>(i)]) ++pass.instances;
+  pass_span.arg("instances", pass.instances);
 
   // The fixed schedule, shared derivation with the modeled engine:
   // derive_stage_params is the same call TwoPhaseEngine::prepare makes
@@ -128,6 +134,7 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
     const auto& members = plan.members[static_cast<std::size_t>(g)];
     for (int j = 1; j <= pass.stages_per_epoch; ++j) {
       const double target = 1.0 - std::pow(pass.xi, j);
+      TRACE_SPAN2("protocol", "stage", "epoch", g, "stage", j);
       for (int s = 0; s < pass.steps_per_stage; ++s) {
         // Participants: the pass's group members still below the stage
         // target (a local test against the processor's own shard).
@@ -148,6 +155,7 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
         for (int v : participants) {
           if (st.live[static_cast<std::size_t>(v)]) {
             pass.mis_ok = false;  // budget exhausted with undecided nodes
+            TRACE_COUNTER("protocol.luby_undecided_nodes", 1);
             st.live[static_cast<std::size_t>(v)] = 0;
           }
         }
@@ -190,6 +198,7 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
   }
 
   // ---- Phase 2: reverse replay, 1 keep/drop round per tuple ---------------
+  TRACE_SPAN("protocol", "phase2_replay");
   pass.solution = prune_stack(problem, stack);
   std::vector<char> kept(static_cast<std::size_t>(std::max(n, 1)), 0);
   for (InstanceId i : pass.solution.selected)

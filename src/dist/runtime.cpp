@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace treesched {
+
 
 Runtime::Runtime(int num_nodes)
     : adjacency_(static_cast<std::size_t>(num_nodes)),
       inbox_(static_cast<std::size_t>(num_nodes)) {
   TS_REQUIRE(num_nodes > 0);
+  if (obs::tracing_enabled()) round_mark_ns_ = obs::trace_now_ns();
 }
 
 void Runtime::connect(int a, int b) {
@@ -36,15 +41,72 @@ void Runtime::post(Message m) {
   TS_REQUIRE(connected(m.from, m.to));
   ++messages_sent_;
   // 16-byte header (from, to, tag, length) + 8 bytes per payload double.
-  bytes_sent_ += 16 + 8 * static_cast<std::int64_t>(m.data.size());
+  const std::int64_t bytes =
+      16 + 8 * static_cast<std::int64_t>(m.data.size());
+  bytes_sent_ += bytes;
+  if (obs::tracing_enabled()) note_post(m.tag, bytes);
   in_flight_.push_back(std::move(m));
 }
 
 void Runtime::step() {
+  if (obs::tracing_enabled()) note_round();
   ++round_;
   for (Message& m : in_flight_)
     inbox_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
   in_flight_.clear();
+}
+
+void Runtime::note_post(int tag, [[maybe_unused]] std::int64_t bytes) {
+  TRACE_HIST("wire.message_bytes", bytes);
+  // Per-tag counters via the macros' cached handles: the registry map
+  // is consulted once per (site, tag), not once per message.  Tag
+  // values: see protocol_scheduler.cpp / luby_mis.cpp / discovery.cpp.
+  switch (tag) {
+    case 0:
+      TRACE_COUNTER("wire.messages.luby_draw", 1);
+      TRACE_COUNTER("wire.bytes.luby_draw", bytes);
+      break;
+    case 1:
+      TRACE_COUNTER("wire.messages.luby_winner", 1);
+      TRACE_COUNTER("wire.bytes.luby_winner", bytes);
+      break;
+    case 2:
+      TRACE_COUNTER("wire.messages.raise", 1);
+      TRACE_COUNTER("wire.bytes.raise", bytes);
+      break;
+    case 3:
+      TRACE_COUNTER("wire.messages.keep", 1);
+      TRACE_COUNTER("wire.bytes.keep", bytes);
+      break;
+    case 10:
+      TRACE_COUNTER("wire.messages.register", 1);
+      TRACE_COUNTER("wire.bytes.register", bytes);
+      break;
+    case 11:
+      TRACE_COUNTER("wire.messages.bucket", 1);
+      TRACE_COUNTER("wire.bytes.bucket", bytes);
+      break;
+    default:
+      TRACE_COUNTER("wire.messages.other", 1);
+      TRACE_COUNTER("wire.bytes.other", bytes);
+      break;
+  }
+}
+
+void Runtime::note_round() {
+  // Close the span of the round that just elapsed (mark -> now) with the
+  // message/byte deltas it produced, then re-arm for the next one.  A
+  // mark of -1 means tracing was enabled mid-run: just arm.
+  const std::int64_t now = obs::trace_now_ns();
+  if (round_mark_ns_ >= 0) {
+    obs::record_complete_span("wire", "round", round_mark_ns_,
+                              now - round_mark_ns_, "messages",
+                              messages_sent_ - mark_messages_, "bytes",
+                              bytes_sent_ - mark_bytes_);
+  }
+  round_mark_ns_ = now;
+  mark_messages_ = messages_sent_;
+  mark_bytes_ = bytes_sent_;
 }
 
 std::vector<Message> Runtime::drain(int node) {

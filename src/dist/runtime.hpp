@@ -63,6 +63,12 @@ class Runtime {
 
  private:
   bool valid(int node) const { return node >= 0 && node < num_nodes(); }
+  // Flight-recorder hooks (obs): per-tag message/byte counters and a
+  // per-round span carrying the round's message/byte deltas.  Called
+  // only while tracing is enabled; pure observation — no field of the
+  // complexity accounting depends on them.
+  void note_post(int tag, std::int64_t bytes);
+  void note_round();
 
   std::vector<std::vector<int>> adjacency_;   // sorted neighbor lists
   std::vector<Message> in_flight_;            // posted, not yet delivered
@@ -70,6 +76,12 @@ class Runtime {
   int round_ = 0;
   std::int64_t messages_sent_ = 0;
   std::int64_t bytes_sent_ = 0;
+  // Marks for the per-round trace spans: where the current round began
+  // and the counter values at that point (-1 = tracing was off at the
+  // last boundary, so the next boundary only re-arms).
+  std::int64_t round_mark_ns_ = -1;
+  std::int64_t mark_messages_ = 0;
+  std::int64_t mark_bytes_ = 0;
 };
 
 }  // namespace treesched

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace treesched {
 
 int ComponentForest::find(int x) {
@@ -18,6 +20,7 @@ int ComponentForest::find(int x) {
 
 void ComponentForest::build(const Problem& problem, const LayeredPlan& plan,
                             const std::vector<char>& active_mask) {
+  TRACE_SPAN1("forest", "build", "instances", problem.num_instances());
   TS_REQUIRE(problem.finalized());
   const int n = problem.num_instances();
   TS_REQUIRE(plan.group.size() == static_cast<std::size_t>(n));

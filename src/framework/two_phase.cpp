@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "framework/certify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace treesched {
 
@@ -74,6 +76,7 @@ void SolveStats::merge(const SolveStats& other) {
   interference_ok = interference_ok && other.interference_ok;
   lockstep_ok = lockstep_ok && other.lockstep_ok;
   mis_ok = mis_ok && other.mis_ok;
+  mis_failed_steps += other.mis_failed_steps;
   epoch_setup_ns += other.epoch_setup_ns;
   forest_build_ns += other.forest_build_ns;
   merge_ns += other.merge_ns;
@@ -193,12 +196,16 @@ void TwoPhaseEngine::finish(SolveResult& result,
       stats.lambda_observed > 0.0
           ? stats.dual_objective / std::min(1.0, stats.lambda_observed)
           : std::numeric_limits<double>::infinity();
-  result.solution = prune_stack(*problem_, stack);
+  {
+    TRACE_SPAN("engine", "phase2_prune");
+    result.solution = prune_stack(*problem_, stack);
+  }
   stats.profit = result.solution.profit(*problem_);
   if (config_.keep_stack) result.raise_stack = std::move(stack);
 }
 
 SolveResult TwoPhaseEngine::run() {
+  TRACE_SPAN("engine", "run");
   SolveResult result;
   const StageSchedule sched = prepare(result.stats);
   if (!sched.any_active) {
@@ -274,10 +281,12 @@ void TwoPhaseEngine::run_central(const StageSchedule& sched,
       if (is_active(i)) members.push_back(i);
     if (members.empty()) continue;
     ++stats.epochs;
+    TRACE_SPAN1("engine", "epoch", "group", g);
 
     for (int j = 1; j <= sched.stages_per_epoch; ++j) {
       const double target = stage_target(sched, j);
       ++stats.stages;
+      TRACE_SPAN2("engine", "stage", "group", g, "stage", j);
       int steps_this_stage = 0;
       for (;;) {
         unsatisfied.clear();
@@ -320,6 +329,8 @@ void TwoPhaseEngine::run_central(const StageSchedule& sched,
           // adaptive mode no progress is possible, so the stage ends
           // short (flagged through lockstep_ok below).
           stats.mis_ok = false;
+          ++stats.mis_failed_steps;
+          TRACE_COUNTER("engine.mis_failed_steps", 1);
           if (config_.lockstep) continue;
           stats.lockstep_ok = false;
           break;
@@ -498,13 +509,22 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
       if (is_active(i)) members.push_back(i);
     if (members.empty()) continue;
     ++stats.epochs;
+    TRACE_SPAN1("engine", "epoch", "group", g);
 
     if (parallel) {
       const auto setup_start = std::chrono::steady_clock::now();
-      const int comp_count = config_.use_component_forest
-                                 ? derive_components(members, g)
-                                 : split_components(members, g);
+      const int comp_count = [&] {
+        TRACE_SPAN1("engine", "epoch_setup", "group", g);
+        return config_.use_component_forest ? derive_components(members, g)
+                                            : split_components(members, g);
+      }();
       stats.epoch_setup_ns += elapsed_ns(setup_start);
+      if (obs::tracing_enabled()) {
+        TRACE_HIST("engine.components_per_epoch", comp_count);
+        for (int c = 0; c < comp_count; ++c)
+          TRACE_HIST("engine.component_size",
+                     comp_pool_[static_cast<std::size_t>(c)].ids.size());
+      }
       if (comp_count > 1) {
         // Fixed-size pool over an atomic work index: which worker runs
         // which component is scheduling-dependent, but each component's
@@ -512,27 +532,58 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
         // the merge below replays everything in fixed component order —
         // so the output is independent of the interleaving.
         std::atomic<int> next{0};
+        const int workers = clamp_workers(comp_count);
+        // Per-worker busy time (loop entry to exhausted work queue);
+        // idle is the pool wall minus that, accumulated into the
+        // metrics registry after the join.
+        std::vector<std::int64_t> busy_ns(static_cast<std::size_t>(workers),
+                                          0);
         const auto work = [&](int w) {
           WorkerScratch& scratch = worker_scratch_[static_cast<std::size_t>(w)];
+          const bool traced = obs::tracing_enabled();
+          const std::int64_t entered_ns = traced ? obs::trace_now_ns() : 0;
           for (;;) {
             const int c = next.fetch_add(1);
             if (c >= comp_count) break;
-            run_component(comp_pool_[static_cast<std::size_t>(c)], rule,
-                          sched, g, scratch);
+            EpochComponent& comp = comp_pool_[static_cast<std::size_t>(c)];
+            TRACE_SPAN2("engine", "component", "size", comp.ids.size(),
+                        "group", g);
+            run_component(comp, rule, sched, g, scratch);
           }
+          if (traced)
+            busy_ns[static_cast<std::size_t>(w)] =
+                obs::trace_now_ns() - entered_ns;
         };
-        const int workers = clamp_workers(comp_count);
+        const std::int64_t pool_start_ns =
+            obs::tracing_enabled() ? obs::trace_now_ns() : 0;
+        TRACE_SPAN2("engine", "solve", "group", g, "components", comp_count);
         std::vector<std::thread> pool;
         pool.reserve(static_cast<std::size_t>(workers) - 1);
         for (int w = 1; w < workers; ++w) pool.emplace_back(work, w);
         work(0);
         for (std::thread& t : pool) t.join();
+        if (obs::tracing_enabled()) {
+          const std::int64_t pool_wall_ns =
+              obs::trace_now_ns() - pool_start_ns;
+          auto& registry = obs::MetricsRegistry::global();
+          for (int w = 0; w < workers; ++w) {
+            const std::int64_t busy = busy_ns[static_cast<std::size_t>(w)];
+            registry.counter("engine.worker_busy_ns").add(busy);
+            registry.counter("engine.worker_idle_ns")
+                .add(std::max<std::int64_t>(0, pool_wall_ns - busy));
+          }
+        }
       } else if (comp_count == 1) {
+        TRACE_SPAN2("engine", "component", "size", comp_pool_[0].ids.size(),
+                    "group", g);
         run_component(comp_pool_[0], rule, sched, g, worker_scratch_[0]);
       }
       const auto merge_start = std::chrono::steady_clock::now();
-      merge_components(comp_count, members, rule, sched, g, objective,
-                       stats, stack, raised_order);
+      {
+        TRACE_SPAN1("engine", "merge", "group", g);
+        merge_components(comp_count, members, rule, sched, g, objective,
+                         stats, stack, raised_order);
+      }
       stats.merge_ns += elapsed_ns(merge_start);
       continue;
     }
@@ -541,6 +592,7 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
     for (int j = 1; j <= sched.stages_per_epoch; ++j) {
       const double target = stage_target(sched, j);
       ++stats.stages;
+      TRACE_SPAN2("engine", "stage", "group", g, "stage", j);
       int steps_this_stage = 0;
       bool scanned = false;
       for (;;) {
@@ -584,6 +636,8 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
         stats.comm_rounds += mis.rounds + 1;  // +1: dual propagation
         if (mis.selected.empty()) {
           stats.mis_ok = false;
+          ++stats.mis_failed_steps;
+          TRACE_COUNTER("engine.mis_failed_steps", 1);
           if (config_.lockstep) continue;
           stats.lockstep_ok = false;
           break;
@@ -909,7 +963,15 @@ void TwoPhaseEngine::merge_components(
       stats.mis_rounds += rounds_t;
       stats.comm_rounds += rounds_t + 1;
       if (merge_row_.empty()) {
+        // Every live component's MIS came back empty this step: the
+        // union U's step failed exactly as a serial empty step would.
+        // (Per-component failures that still yield a non-empty union
+        // only flip mis_ok below, not this counter — the counter must
+        // stay identical across serial and parallel paths, and the
+        // parity suite compares it with ==.)
         stats.mis_ok = false;
+        ++stats.mis_failed_steps;
+        TRACE_COUNTER("engine.mis_failed_steps", 1);
         if (!config_.lockstep) stage_broken = true;
         continue;
       }
@@ -982,6 +1044,7 @@ void TwoPhaseEngine::merge_components(
 
 void TwoPhaseEngine::apply_deferred_raises(int group, InstanceId lo,
                                            InstanceId hi) {
+  TRACE_SPAN2("engine", "merge_slab", "lo", lo, "hi", hi);
   const auto in_scope = [&](InstanceId k) {
     return is_active(k) &&
            plan_->group[static_cast<std::size_t>(k)] != group;

@@ -227,6 +227,12 @@ struct SolveStats {
   // non-empty candidate pool.  A budgeted randomized oracle may fail
   // w.h.p.-rarely; the engine records an idle step instead of aborting.
   bool mis_ok = true;
+  // How many whole steps spent their MIS budget without deciding anyone
+  // (the silent degrade behind mis_ok = false, surfaced so the CLI and
+  // benches can warn).  Counted only when the *entire* step's selection
+  // is empty — identically on the central, serial, and parallel-merge
+  // paths, so the parity suites compare it with ==.
+  std::int64_t mis_failed_steps = 0;
 
   // Wall-clock breakdown of the parallel epoch path (all zero on the
   // serial and central paths).  Timing, not semantics: every field the

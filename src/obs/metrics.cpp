@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <map>
+#include <mutex>
+
+namespace treesched::obs {
+
+namespace {
+
+// min/max via CAS so concurrent recorders never lose an extremum.
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(std::int64_t value) {
+  if (value <= 0) return 0;
+  const int width = std::bit_width(static_cast<std::uint64_t>(value));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+std::int64_t Histogram::bucket_floor(int index) {
+  if (index <= 0) return 0;
+  return std::int64_t{1} << (index - 1);
+}
+
+void Histogram::record(std::int64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (n == 0) {
+    // First sample seeds both extrema; racing recorders still converge
+    // through the CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  std::int64_t cumulative = 0;
+  for (int k = 0; k < kBuckets; ++k) {
+    cumulative += buckets_[k].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target && cumulative > 0)
+      return bucket_floor(k);
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// std::map keeps node addresses stable across inserts, so handed-out
+// references survive later registrations; the mutex only guards
+// creation and snapshotting, never the atomic updates themselves.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Histogram> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->histograms[name];
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, counter] : impl_->counters) counter.reset();
+  for (auto& [name, histogram] : impl_->histograms) histogram.reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : impl_->counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : impl_->histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(hist.count()) +
+           ",\"sum\":" + std::to_string(hist.sum()) +
+           ",\"min\":" + std::to_string(hist.min()) +
+           ",\"max\":" + std::to_string(hist.max()) +
+           ",\"p50\":" + std::to_string(hist.quantile(0.5)) +
+           ",\"p95\":" + std::to_string(hist.quantile(0.95)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace treesched::obs

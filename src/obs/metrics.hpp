@@ -1,0 +1,124 @@
+// MetricsRegistry: named monotonic counters and log-scale histograms,
+// process-global, thread-safe, dumped alongside (or inside) a trace.
+//
+// Counters and histograms are looked up by string name once (handles
+// are stable for the registry's lifetime — typically cached in a
+// function-local static by the TRACE_COUNTER / TRACE_HIST macros) and
+// then updated with relaxed atomics, so the hot path never locks.
+// Updates are further gated on obs::tracing_enabled(): with tracing off
+// the macros cost one relaxed load, and a TREESCHED_TRACING_DISABLED
+// build compiles them out entirely.
+//
+// Histograms use 64 power-of-two buckets (bucket k holds values in
+// [2^(k-1), 2^k), bucket 0 holds <= 0) plus exact count/sum/min/max —
+// enough to answer "what's the component-size / message-size shape"
+// without per-sample storage.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace treesched::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t value);
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const;  // 0 when empty
+  std::int64_t max() const;  // 0 when empty
+  // Bucket-resolution quantile (q in [0,1]): the lower bound of the
+  // first bucket whose cumulative count reaches q * count.
+  std::int64_t quantile(double q) const;
+  void reset();
+
+  static int bucket_index(std::int64_t value);
+  // Smallest value that lands in the given bucket.
+  static std::int64_t bucket_floor(int index);
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  // Returns the counter/histogram with this name, creating it on first
+  // use.  References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Zeroes every registered counter and histogram (names persist).
+  void reset();
+
+  // {"counters": {name: value, ...},
+  //  "histograms": {name: {count,sum,min,max,p50,p95}, ...}}
+  // with names in sorted order — deterministic for a given state.
+  std::string to_json() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace treesched::obs
+
+// Metric macros: one-time name lookup via a function-local static
+// handle, then a relaxed atomic update — nothing when tracing is off
+// or compiled out.
+#ifndef TREESCHED_TRACING_DISABLED
+#define TRACE_COUNTER(name, delta)                                       \
+  do {                                                                   \
+    if (::treesched::obs::tracing_enabled()) {                           \
+      static ::treesched::obs::Counter& ts_obs_counter =                 \
+          ::treesched::obs::MetricsRegistry::global().counter(name);     \
+      ts_obs_counter.add(static_cast<std::int64_t>(delta));              \
+    }                                                                    \
+  } while (0)
+#define TRACE_HIST(name, value)                                          \
+  do {                                                                   \
+    if (::treesched::obs::tracing_enabled()) {                           \
+      static ::treesched::obs::Histogram& ts_obs_hist =                  \
+          ::treesched::obs::MetricsRegistry::global().histogram(name);   \
+      ts_obs_hist.record(static_cast<std::int64_t>(value));              \
+    }                                                                    \
+  } while (0)
+#else
+#define TRACE_COUNTER(name, delta) \
+  do {                             \
+  } while (0)
+#define TRACE_HIST(name, value) \
+  do {                          \
+  } while (0)
+#endif

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -27,11 +28,20 @@
 #include "dist/scheduler.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/two_phase.hpp"
+#include "obs/trace.hpp"
 #include "test_util.hpp"
 #include "workload/scenario.hpp"
 
 namespace treesched {
 namespace {
+
+// TREESCHED_TRACE=1 reruns this whole suite with the flight recorder on:
+// the CI sanitizer job uses it to prove tracing cannot perturb any field
+// compared with == below (the ISSUE's "tracing is invisible" guarantee).
+[[maybe_unused]] const bool trace_env_hook = [] {
+  if (std::getenv("TREESCHED_TRACE") != nullptr) obs::enable_tracing();
+  return true;
+}();
 
 using testutil::require_feasible;
 using testutil::small_line_problem;

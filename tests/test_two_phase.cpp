@@ -228,6 +228,11 @@ TEST(TwoPhase, EmptyMisResultDoesNotAbort) {
     EXPECT_FALSE(run.stats.lockstep_ok);
     EXPECT_EQ(run.stats.raises, 0);
     EXPECT_GT(run.stats.steps, 0);  // idle steps are still counted
+    // The degrade must be *counted*, not just flagged: every idle step
+    // contributes, so the CLI/bench warnings can say how bad it was.
+    EXPECT_GT(run.stats.mis_failed_steps, 0);
+    EXPECT_LE(run.stats.mis_failed_steps,
+              static_cast<std::int64_t>(run.stats.steps));
   }
 }
 
@@ -246,6 +251,92 @@ TEST(TwoPhase, StatsMergeTakesWorstLambdaAndSums) {
   EXPECT_DOUBLE_EQ(a.lambda_observed, 0.8);
   EXPECT_DOUBLE_EQ(a.dual_upper_bound, 15.0);
   EXPECT_EQ(a.delta, 6);
+}
+
+TEST(TwoPhase, StatsMergeCoversEveryField) {
+  // Guard against the PR-2 bug class: a field added to SolveStats but
+  // forgotten in merge() silently drops half of a combined run's stats.
+  // The static_assert trips whenever the struct grows or shrinks; when
+  // it fires, extend merge(), then teach THIS test the new field's merge
+  // semantics, then update the expected size.
+  static_assert(sizeof(SolveStats) == 152,
+                "SolveStats changed size: update SolveStats::merge and "
+                "TwoPhase.StatsMergeCoversEveryField");
+
+  SolveStats a, b;
+  a.epochs = 1;
+  b.epochs = 2;
+  a.stages = 3;
+  b.stages = 4;
+  a.steps = 5;
+  b.steps = 6;
+  a.max_steps_in_stage = 7;
+  b.max_steps_in_stage = 8;
+  a.raises = 9;
+  b.raises = 10;
+  a.mis_rounds = 11;
+  b.mis_rounds = 12;
+  a.comm_rounds = 13;
+  b.comm_rounds = 14;
+  a.messages = 15;
+  b.messages = 16;
+  a.message_bytes = 17;
+  b.message_bytes = 18;
+  a.dual_objective = 19.0;
+  b.dual_objective = 20.0;
+  a.lambda_observed = 0.9;
+  b.lambda_observed = 0.8;
+  a.dual_upper_bound = 21.0;
+  b.dual_upper_bound = 22.0;
+  a.delta = 23;
+  b.delta = 24;
+  a.xi = 25.0;
+  b.xi = 26.0;
+  a.stages_per_epoch = 27;
+  b.stages_per_epoch = 28;
+  a.profit = 29.0;
+  b.profit = 30.0;
+  a.interference_ok = true;
+  b.interference_ok = false;
+  a.lockstep_ok = false;
+  b.lockstep_ok = true;
+  a.mis_ok = true;
+  b.mis_ok = false;
+  a.mis_failed_steps = 31;
+  b.mis_failed_steps = 32;
+  a.epoch_setup_ns = 33;
+  b.epoch_setup_ns = 34;
+  a.forest_build_ns = 35;
+  b.forest_build_ns = 36;
+  a.merge_ns = 37;
+  b.merge_ns = 38;
+
+  a.merge(b);
+  EXPECT_EQ(a.epochs, 3);
+  EXPECT_EQ(a.stages, 7);
+  EXPECT_EQ(a.steps, 11);
+  EXPECT_EQ(a.max_steps_in_stage, 8);
+  EXPECT_EQ(a.raises, 19);
+  EXPECT_EQ(a.mis_rounds, 23);
+  EXPECT_EQ(a.comm_rounds, 27);
+  EXPECT_EQ(a.messages, 31);
+  EXPECT_EQ(a.message_bytes, 35);
+  EXPECT_DOUBLE_EQ(a.dual_objective, 39.0);
+  EXPECT_DOUBLE_EQ(a.lambda_observed, 0.8);  // worst (min of set values)
+  EXPECT_DOUBLE_EQ(a.dual_upper_bound, 43.0);
+  EXPECT_EQ(a.delta, 24);
+  EXPECT_DOUBLE_EQ(a.xi, 26.0);
+  EXPECT_EQ(a.stages_per_epoch, 28);
+  // profit is deliberately NOT merged: it is recomputed from the
+  // combined solution, never summed (the runs share instances).
+  EXPECT_DOUBLE_EQ(a.profit, 29.0);
+  EXPECT_FALSE(a.interference_ok);  // AND
+  EXPECT_FALSE(a.lockstep_ok);      // AND
+  EXPECT_FALSE(a.mis_ok);           // AND
+  EXPECT_EQ(a.mis_failed_steps, 63);
+  EXPECT_EQ(a.epoch_setup_ns, 67);
+  EXPECT_EQ(a.forest_build_ns, 71);
+  EXPECT_EQ(a.merge_ns, 75);
 }
 
 }  // namespace

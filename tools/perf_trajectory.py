@@ -55,10 +55,18 @@ GATED_SUFFIXES = ("_rounds", "_steps", "_messages", "_bytes", "_raises",
 INFORMATIONAL = ("wall_ms", "steps_per_sec", "profit", "speedup", "ns",
                  "time_ms")
 INFO_SUFFIXES = ("_ms", "_ns", "_per_sec", "_profit", "_share", "_bound",
-                 "_speedup")
+                 "_speedup", "_p50", "_p95")
+# The obs/ flight recorder's exports (trace span totals, histogram
+# summaries, registry counters) are diagnostics, never gates: they are
+# wall-clock- and sampling-dependent.  Checked BEFORE the gated rules so
+# e.g. a trace_rounds or hist_message_bytes field stays informational
+# despite its gated-looking suffix.
+INFO_PREFIXES = ("trace_", "hist_", "obs_")
 
 
 def classify(field):
+    if field.startswith(INFO_PREFIXES):
+        return "info"
     if field in GATED_UP or field.endswith(GATED_SUFFIXES):
         return "gated"
     if field in INFORMATIONAL or field.endswith(INFO_SUFFIXES):

@@ -11,9 +11,14 @@
 //   treesched_cli solve     <file> [--algo=auto|tree|line|seq|exact|
 //                 nonuniform] [--eps=0.1] [--ps] [--seed=1]
 //                 [--decomp=ideal|balancing|rootfix] [--out=sol.txt]
+//                 [--trace=trace.json]
 //
 // Files produced by gen-* are the versioned text formats of io/text_io;
-// `solve` auto-detects tree vs line files by their header.
+// `solve` auto-detects tree vs line files by their header.  --trace
+// enables the obs/ flight recorder for the solve and writes a Chrome
+// trace (chrome://tracing / ui.perfetto.dev; summarize with
+// tools/trace_report.py) — unavailable in TREESCHED_ENABLE_TRACING=OFF
+// builds.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +30,7 @@
 #include "dist/scheduler.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "io/text_io.hpp"
+#include "obs/trace.hpp"
 #include "seq/sequential.hpp"
 #include "workload/scenario.hpp"
 
@@ -181,13 +187,31 @@ void report(const Problem& problem, const Solution& solution, double bound,
     std::printf("rounds: %lld (epochs %d, stages %d, steps %d)\n",
                 static_cast<long long>(stats.comm_rounds), stats.epochs,
                 stats.stages, stats.steps);
+  if (!stats.mis_ok)
+    std::printf("warning: MIS budget exhausted in %lld step(s) — the run "
+                "degraded (mis_ok=false); quality certificates still hold "
+                "but fewer instances were decided than the schedule "
+                "planned for\n",
+                static_cast<long long>(stats.mis_failed_steps));
   if (args.has("out")) {
     save_solution(args.get("out", ""), solution);
     std::printf("solution written to %s\n", args.get("out", "").c_str());
   }
+  if (args.has("trace")) {
+    const std::string path = args.get("trace", "trace.json");
+    if (obs::write_chrome_trace(path))
+      std::printf("trace written to %s (open in chrome://tracing or "
+                  "ui.perfetto.dev; summarize with tools/trace_report.py)\n",
+                  path.c_str());
+    else
+      std::fprintf(stderr, "warning: could not write trace to %s (tracing "
+                           "compiled out, or path not writable)\n",
+                   path.c_str());
+  }
 }
 
 int cmd_solve(const Args& args) {
+  if (args.has("trace")) obs::enable_tracing();
   const bool line = is_line_file(args.file);
   Problem problem = [&] {
     if (line) {
