@@ -55,11 +55,19 @@ int main(int argc, char** argv) {
   // --trace=PATH: one extra traced protocol run (tree wide/narrow,
   // seed 1) after the measured sweep, dumped as a Chrome trace; the
   // emitted BENCH series is unaffected.
+  // --transport=KIND: the backend of the serialized comparison arm
+  // (default "serialized"; "threaded" measures the mutexed wire).  The
+  // arm reruns the tree sweep on that backend, hard-fails unless it
+  // reproduces the in-proc run bit for bit, and records the codec
+  // traffic under the perf gate.
   std::string trace_path;
+  std::string transport_name = "serialized";
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+    if (arg.rfind("--transport=", 0) == 0) transport_name = arg.substr(12);
   }
+  const TransportKind wire_kind = parse_transport_kind(transport_name);
 
   print_claim("T6  message-level protocol vs modeled engine",
               "the fixed wire schedule spends discovery + sum_pass "
@@ -145,6 +153,54 @@ int main(int argc, char** argv) {
            run_nonuniform_protocol(p, options));
   }
   table.print(std::cout);
+
+  // The transport arm: the tree wide/narrow sweep again, once per seed
+  // on the serialized backend.  The counters must be *identical* to the
+  // in-proc run (same rounds, messages, bytes, selection — the modeled
+  // byte charge is exactly the serialized size), so the arm's value
+  // under the gate is the codec traffic: every charged message really
+  // encoded at post and decoded at drain.
+  Table wire_table(std::string("T6  transport arm (") +
+                   to_string(wire_kind) + " vs inproc, 4 seeds)");
+  wire_table.set_header({"seed", "wire-rounds", "wire-bytes",
+                         "codec-msgs", "identical"});
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Problem p = make_tree(seed + 10, HeightLaw::kBimodal,
+                                CapacityLaw::kUniform, 1.0);
+    ProtocolOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    options.transport = TransportKind::kInProc;
+    const ProtocolDistResult ref = run_tree_arbitrary_protocol(p, options);
+    options.transport = wire_kind;
+    const ProtocolDistResult wire = run_tree_arbitrary_protocol(p, options);
+    const bool identical =
+        wire.run.solution.selected == ref.run.solution.selected &&
+        wire.run.rounds == ref.run.rounds &&
+        wire.run.messages == ref.run.messages &&
+        wire.run.bytes == ref.run.bytes &&
+        wire.run.codec_encoded == wire.run.messages &&
+        wire.run.codec_decoded == wire.run.messages;
+    wire_table.add_row({std::to_string(seed),
+                        std::to_string(wire.run.rounds),
+                        std::to_string(wire.run.bytes),
+                        std::to_string(wire.run.codec_encoded),
+                        identical ? "1" : "0"});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: %s transport diverged from inproc on seed %llu\n",
+                   to_string(wire_kind),
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    JsonRecord row{{"arm", 3.0},
+                   {"seed", static_cast<double>(seed)},
+                   {"codec_messages",
+                    static_cast<double>(wire.run.codec_encoded)}};
+    append_protocol_fields(row, wire.run);
+    runs.push_back(std::move(row));
+  }
+  wire_table.print(std::cout);
   emit_json("t6_protocol_wire", runs);
 
   if (!trace_path.empty()) {

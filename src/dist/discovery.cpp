@@ -97,15 +97,18 @@ DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
   owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
   std::vector<int> bucket;
   for (int owner : owners) {
-    const std::vector<Message> inbox = rt.drain(owner);
-    if (inbox.size() < 2) continue;
-    bucket.clear();
-    for (const Message& registrant : inbox) bucket.push_back(registrant.from);
-    std::sort(bucket.begin(), bucket.end());
-    const std::vector<double> digest =
-        interval_digest({bucket.data(), bucket.size()});
-    for (const Message& registrant : inbox)
-      rt.post(Message{owner, registrant.from, kTagBucket, digest});
+    std::vector<Message> inbox = rt.drain(owner);
+    if (inbox.size() >= 2) {
+      bucket.clear();
+      for (const Message& registrant : inbox)
+        bucket.push_back(registrant.from);
+      std::sort(bucket.begin(), bucket.end());
+      const std::vector<double> digest =
+          interval_digest({bucket.data(), bucket.size()});
+      for (const Message& registrant : inbox)
+        rt.post(Message{owner, registrant.from, kTagBucket, digest});
+    }
+    rt.recycle(std::move(inbox));
   }
   rt.step();
 
@@ -114,7 +117,8 @@ DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
   // the adjacency implies.
   for (int v = 0; v < k; ++v) {
     std::vector<int>& adj = result.neighbors[static_cast<std::size_t>(v)];
-    for (const Message& m : rt.drain(v)) {
+    std::vector<Message> inbox = rt.drain(v);
+    for (const Message& m : inbox) {
       TS_REQUIRE(m.tag == kTagBucket);
       TS_REQUIRE(m.data.size() % 2 == 0);
       for (std::size_t r = 0; r + 1 < m.data.size(); r += 2) {
@@ -124,6 +128,7 @@ DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
           if (u != v) adj.push_back(u);
       }
     }
+    rt.recycle(std::move(inbox));
     std::sort(adj.begin(), adj.end());
     adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
     for (int u : adj)

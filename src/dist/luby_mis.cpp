@@ -45,12 +45,16 @@ std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
   rt.step();
 
   // Local decision + round 2: the strict minima of (draw, id) over their
-  // live neighborhoods win and notify.
+  // live neighborhoods win and notify.  Drained inboxes are recycled
+  // through the runtime's free list — the Luby loop is the protocol's
+  // hottest drain site, and the recycled slots make the serialized
+  // backends' decode loop allocation-free at steady state.
   std::vector<int> winners;
   for (int v : nodes) {
     if (!live[static_cast<std::size_t>(v)]) continue;
     bool best = true;
-    for (const Message& m : rt.drain(v)) {
+    std::vector<Message> inbox = rt.drain(v);
+    for (const Message& m : inbox) {
       TS_REQUIRE(m.tag == kLubyTagDraw);
       const double other = m.data[0];
       const double mine = draw[static_cast<std::size_t>(v)];
@@ -59,6 +63,7 @@ std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
         break;
       }
     }
+    rt.recycle(std::move(inbox));
     if (!best) continue;
     winners.push_back(v);
     for (int u : neighbors[static_cast<std::size_t>(v)])
@@ -72,8 +77,10 @@ std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
   // both be strict minima.)
   for (int v : nodes) {
     if (!live[static_cast<std::size_t>(v)]) continue;
-    for (const Message& m : rt.drain(v))
+    std::vector<Message> inbox = rt.drain(v);
+    for (const Message& m : inbox)
       if (m.tag == kLubyTagWinner) live[static_cast<std::size_t>(v)] = 0;
+    rt.recycle(std::move(inbox));
   }
   for (int v : winners) live[static_cast<std::size_t>(v)] = 0;
   return winners;
@@ -81,7 +88,8 @@ std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
 
 ProtocolResult run_luby_protocol(const Problem& problem,
                                  std::span<const InstanceId> members,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 TransportKind transport) {
   ProtocolResult result;
   const int n = static_cast<int>(members.size());
   if (n == 0) return result;
@@ -89,7 +97,7 @@ ProtocolResult run_luby_protocol(const Problem& problem,
   // Neighborhoods come from the edge-owner rendezvous, charged to the
   // same runtime the Luby rounds run on — no global conflict graph.
   const RendezvousLayout layout = RendezvousLayout::for_problem(problem, n);
-  Runtime rt(layout.total);
+  Runtime rt(layout.total, transport);
   const DiscoveredNeighborhoods hood = discover_conflicts(problem, members, rt);
   result.discovery_rounds = hood.rounds;
   result.discovery_messages = hood.messages;
@@ -119,6 +127,9 @@ ProtocolResult run_luby_protocol(const Problem& problem,
   result.rounds = rt.round();
   result.messages = rt.messages_sent();
   result.bytes = rt.bytes_sent();
+  result.transport = rt.transport_kind();
+  result.codec_encoded = rt.codec_encoded();
+  result.codec_decoded = rt.codec_decoded();
   return result;
 }
 

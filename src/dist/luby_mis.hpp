@@ -55,7 +55,9 @@ int default_luby_budget(int n);
 
 // Outcome of a message-level Luby run: selected member indexes plus the
 // Runtime's accounting, with the discovery share broken out (totals
-// include it).
+// include it) and the transport backend's codec hits (zero in-proc; ==
+// messages on the serialized wires, every message really encoded and
+// decoded).
 struct ProtocolResult {
   std::vector<int> selected;
   std::int64_t rounds = 0;
@@ -64,6 +66,9 @@ struct ProtocolResult {
   std::int64_t discovery_rounds = 0;
   std::int64_t discovery_messages = 0;
   std::int64_t discovery_bytes = 0;
+  TransportKind transport = TransportKind::kInProc;
+  std::int64_t codec_encoded = 0;
+  std::int64_t codec_decoded = 0;
 };
 
 // One message-level Luby iteration (exactly 2 synchronous rounds) over
@@ -85,10 +90,11 @@ std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
 // Luby's MIS as a real protocol on the synchronous runtime: rendezvous
 // discovery first, then 2 rounds per iteration on the discovered
 // neighborhoods.  `members` are distinct instances of `problem`;
-// selected entries are member indexes.  Deterministic by seed.
-ProtocolResult run_luby_protocol(const Problem& problem,
-                                 std::span<const InstanceId> members,
-                                 std::uint64_t seed);
+// selected entries are member indexes.  Deterministic by seed, and
+// bit-identical (selection and counters) on every transport backend.
+ProtocolResult run_luby_protocol(
+    const Problem& problem, std::span<const InstanceId> members,
+    std::uint64_t seed, TransportKind transport = TransportKind::kDefault);
 
 // Round-counting Luby oracle over the implicit conflict cliques.  One
 // instance is stateful: successive run() calls consume the same random

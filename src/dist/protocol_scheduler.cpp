@@ -38,7 +38,8 @@ struct ProtocolState {
 
   ProtocolState(const Problem& problem, const ProtocolOptions& options)
       : n(problem.num_instances()),
-        rt(std::max(RendezvousLayout::for_problem(problem, n).total, 1)) {
+        rt(std::max(RendezvousLayout::for_problem(problem, n).total, 1),
+           options.transport) {
     // One runtime node per instance plus the rendezvous owner nodes.  The
     // conflict neighborhoods are *discovered*, not built: the 2-round
     // edge-owner rendezvous replaces the global ConflictGraph and is
@@ -113,13 +114,18 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
   };
   // Drains every member inbox, applying raise propagations to the local
   // shards (the one message type that may be in flight at step ends).
+  // Inboxes are recycled: this runs once per step, n drains each, and
+  // the recycled slots keep the serialized backends' decode loop free of
+  // steady-state allocation.
   const auto drain_and_apply = [&] {
     for (int v = 0; v < n; ++v) {
-      for (const Message& m : st.rt.drain(v)) {
+      std::vector<Message> inbox = st.rt.drain(v);
+      for (const Message& m : inbox) {
         TS_REQUIRE(m.tag == kTagRaise);
         shard[static_cast<std::size_t>(v)].apply_raise(
             {m.data.data(), m.data.size()});
       }
+      st.rt.recycle(std::move(inbox));
     }
   };
 
@@ -213,7 +219,7 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
         st.rt.post(Message{i, u, kTagKeep, {}});
     }
     st.rt.step();
-    for (int v = 0; v < n; ++v) st.rt.drain(v);
+    for (int v = 0; v < n; ++v) st.rt.recycle(st.rt.drain(v));
   }
 
   // Certification from the shards alone: every processor reports its own
@@ -294,6 +300,9 @@ void finish_run(ProtocolRunResult& result, const ProtocolState& st) {
   result.rounds = st.rt.round() + result.combine_rounds;
   result.messages = st.rt.messages_sent();
   result.bytes = st.rt.bytes_sent();
+  result.transport = st.rt.transport_kind();
+  result.codec_encoded = st.rt.codec_encoded();
+  result.codec_decoded = st.rt.codec_decoded();
   // A pass's lambda_observed is always a real observed minimum (passes
   // run on non-empty classes only), so — unlike SolveStats::merge, whose
   // 0.0 means "no run contributed yet" — a 0.0 here is a genuine

@@ -69,6 +69,7 @@
 #include <vector>
 
 #include "decomp/layered.hpp"
+#include "dist/transport.hpp"
 #include "framework/raise_rule.hpp"
 #include "model/problem.hpp"
 #include "model/solution.hpp"
@@ -92,6 +93,10 @@ struct ProtocolOptions {
   // Retain the per-pass raise stacks in the result (test oracle for the
   // central-replay and engine parity checks).
   bool keep_stack = false;
+  // Communication backend of the run (dist/transport.hpp).  Every
+  // backend produces bit-identical results and counters; kDefault
+  // resolves through the TREESCHED_TRANSPORT environment hook.
+  TransportKind transport = TransportKind::kDefault;
 };
 
 // One executed pass of the protocol: a raising rule over an instance
@@ -168,6 +173,13 @@ struct ProtocolRunResult {
   // One entry per executed pass (an instance class with no members is
   // skipped and contributes no pass, like the modeled height split).
   std::vector<ProtocolPass> passes;
+  // The resolved transport backend the run executed on, and its codec
+  // hit counters: 0/0 on the in-proc path; both == messages on the
+  // serialized wires (every message the run charged was really encoded
+  // at post and decoded at drain — the transport-axis tests assert it).
+  TransportKind transport = TransportKind::kInProc;
+  std::int64_t codec_encoded = 0;
+  std::int64_t codec_decoded = 0;
 };
 
 // Runs the message-level protocol on `problem` under `plan` (tree or line

@@ -1,16 +1,17 @@
 #include "dist/runtime.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace treesched {
 
-
-Runtime::Runtime(int num_nodes)
-    : adjacency_(static_cast<std::size_t>(num_nodes)),
-      inbox_(static_cast<std::size_t>(num_nodes)) {
+Runtime::Runtime(int num_nodes, TransportKind transport)
+    : num_nodes_(num_nodes),
+      adjacency_(static_cast<std::size_t>(num_nodes)),
+      transport_(make_transport(transport, num_nodes)) {
   TS_REQUIRE(num_nodes > 0);
   if (obs::tracing_enabled()) round_mark_ns_ = obs::trace_now_ns();
 }
@@ -39,21 +40,19 @@ const std::vector<int>& Runtime::channels(int node) const {
 void Runtime::post(Message m) {
   TS_REQUIRE(valid(m.from) && valid(m.to));
   TS_REQUIRE(connected(m.from, m.to));
-  ++messages_sent_;
-  // 16-byte header (from, to, tag, length) + 8 bytes per payload double.
-  const std::int64_t bytes =
-      16 + 8 * static_cast<std::int64_t>(m.data.size());
-  bytes_sent_ += bytes;
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  // 16-byte header (from, to, tag, length) + 8 bytes per payload double —
+  // the exact size the serialized codec produces.
+  const std::int64_t bytes = message_wire_bytes(m);
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
   if (obs::tracing_enabled()) note_post(m.tag, bytes);
-  in_flight_.push_back(std::move(m));
+  transport_->post(std::move(m));
 }
 
 void Runtime::step() {
   if (obs::tracing_enabled()) note_round();
   ++round_;
-  for (Message& m : in_flight_)
-    inbox_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
-  in_flight_.clear();
+  transport_->flush();
 }
 
 void Runtime::note_post(int tag, [[maybe_unused]] std::int64_t bytes) {
@@ -96,24 +95,37 @@ void Runtime::note_post(int tag, [[maybe_unused]] std::int64_t bytes) {
 void Runtime::note_round() {
   // Close the span of the round that just elapsed (mark -> now) with the
   // message/byte deltas it produced, then re-arm for the next one.  A
-  // mark of -1 means tracing was enabled mid-run: just arm.
+  // mark of -1 means tracing was enabled mid-run: just arm.  The span
+  // name carries the backend ("round", "round.serialized", ...), so a
+  // trace shows which wire the rounds ran on.
   const std::int64_t now = obs::trace_now_ns();
   if (round_mark_ns_ >= 0) {
-    obs::record_complete_span("wire", "round", round_mark_ns_,
-                              now - round_mark_ns_, "messages",
-                              messages_sent_ - mark_messages_, "bytes",
-                              bytes_sent_ - mark_bytes_);
+    obs::record_complete_span("wire", transport_->round_span_name(),
+                              round_mark_ns_, now - round_mark_ns_,
+                              "messages", messages_sent() - mark_messages_,
+                              "bytes", bytes_sent() - mark_bytes_);
   }
   round_mark_ns_ = now;
-  mark_messages_ = messages_sent_;
-  mark_bytes_ = bytes_sent_;
+  mark_messages_ = messages_sent();
+  mark_bytes_ = bytes_sent();
 }
 
 std::vector<Message> Runtime::drain(int node) {
   TS_REQUIRE(valid(node));
   std::vector<Message> out;
-  out.swap(inbox_[static_cast<std::size_t>(node)]);
+  if (!free_list_.empty()) {
+    out = std::move(free_list_.back());
+    free_list_.pop_back();
+  }
+  transport_->drain(node, out);
   return out;
+}
+
+void Runtime::recycle(std::vector<Message> inbox) {
+  // Keep the vector as-is (stale messages included): the backends
+  // overwrite recycled slots in place, so clearing here would throw the
+  // payload capacity away.
+  free_list_.push_back(std::move(inbox));
 }
 
 }  // namespace treesched

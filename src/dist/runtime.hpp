@@ -15,27 +15,32 @@
 // Theorems 5.3/6.3/7.1/7.2 bound.  A message is charged a 16-byte header
 // (from, to, tag, length) plus 8 bytes per double of payload — the O(M)
 // bits per message the paper assumes.
+//
+// How messages actually move is the pluggable part: the Runtime is a
+// thin round-discipline shell (channels, round barrier, accounting,
+// trace hooks) over a Transport backend (dist/transport.hpp).  The
+// default in-proc backend shuffles vectors; the serialized backends
+// put real bytes through the message codec, making the byte counters
+// serialization facts instead of a model.  Every backend is held to
+// bit-for-bit identical counters and results by the transport-axis
+// parity tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/prelude.hpp"
+#include "dist/transport.hpp"
 
 namespace treesched {
 
-// One protocol message.  `data` is the payload; the paper's messages
-// carry O(1) demand records, so a handful of doubles suffices.
-struct Message {
-  int from = -1;
-  int to = -1;
-  int tag = 0;
-  std::vector<double> data;
-};
-
 class Runtime {
  public:
-  explicit Runtime(int num_nodes);
+  // `transport` picks the backend; kDefault resolves through the
+  // TREESCHED_TRANSPORT environment hook (unset -> in-proc).
+  explicit Runtime(int num_nodes,
+                   TransportKind transport = TransportKind::kDefault);
 
   // Opens the symmetric channel {a, b}.  Idempotent; a != b.
   void connect(int a, int b);
@@ -45,21 +50,42 @@ class Runtime {
   const std::vector<int>& channels(int node) const;
 
   // Queues `m` for delivery at the next round boundary.  Requires an open
-  // channel between m.from and m.to.
+  // channel between m.from and m.to.  Safe to call from concurrent
+  // threads on the kThreadedSerialized backend (between boundaries, with
+  // no concurrent connect); single-threaded otherwise.
   void post(Message m);
 
   // Advances the round boundary: every message posted since the previous
-  // step() becomes visible in its receiver's inbox.
+  // step() becomes visible in its receiver's inbox.  Driver-side only.
   void step();
 
   // Removes and returns the inbox of `node` (messages delivered by past
-  // step() calls, in posting order).
+  // step() calls, in posting order).  The returned vector comes from the
+  // free list fed by recycle(), so a drain/recycle loop is steady-state
+  // allocation-free on the serialized backends.
   std::vector<Message> drain(int node);
 
-  int num_nodes() const { return static_cast<int>(inbox_.size()); }
+  // Returns a drained inbox to the free list for reuse by a later
+  // drain().  Optional — dropping the vector is always correct — but the
+  // hot loops (Luby rounds, raise propagation) recycle so their per-round
+  // allocation churn is zero once buffers have grown to size.
+  void recycle(std::vector<Message> inbox);
+
+  int num_nodes() const { return num_nodes_; }
   int round() const { return round_; }
-  std::int64_t messages_sent() const { return messages_sent_; }
-  std::int64_t bytes_sent() const { return bytes_sent_; }
+  std::int64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  std::int64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+  // The resolved backend, and its codec-hit counters (zero on the
+  // in-proc path; == messages_sent on the serialized paths once every
+  // inbox is drained).
+  TransportKind transport_kind() const { return transport_->kind(); }
+  std::int64_t codec_encoded() const { return transport_->codec_encoded(); }
+  std::int64_t codec_decoded() const { return transport_->codec_decoded(); }
 
  private:
   bool valid(int node) const { return node >= 0 && node < num_nodes(); }
@@ -70,12 +96,15 @@ class Runtime {
   void note_post(int tag, std::int64_t bytes);
   void note_round();
 
+  int num_nodes_ = 0;
   std::vector<std::vector<int>> adjacency_;   // sorted neighbor lists
-  std::vector<Message> in_flight_;            // posted, not yet delivered
-  std::vector<std::vector<Message>> inbox_;   // delivered, not yet drained
+  std::unique_ptr<Transport> transport_;      // the message movement
+  std::vector<std::vector<Message>> free_list_;  // recycled inboxes
   int round_ = 0;
-  std::int64_t messages_sent_ = 0;
-  std::int64_t bytes_sent_ = 0;
+  // Relaxed atomics so concurrent posts on the threaded backend count
+  // correctly; the totals are deterministic on every backend.
+  std::atomic<std::int64_t> messages_sent_{0};
+  std::atomic<std::int64_t> bytes_sent_{0};
   // Marks for the per-round trace spans: where the current round began
   // and the counter values at that point (-1 = tracing was off at the
   // last boundary, so the next boundary only re-arms).

@@ -1,0 +1,299 @@
+#include "dist/transport.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace treesched {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kDefault:
+      return "default";
+    case TransportKind::kInProc:
+      return "inproc";
+    case TransportKind::kSerialized:
+      return "serialized";
+    case TransportKind::kThreadedSerialized:
+      return "threaded";
+  }
+  return "?";
+}
+
+TransportKind parse_transport_kind(const std::string& name) {
+  if (name == "inproc") return TransportKind::kInProc;
+  if (name == "serialized") return TransportKind::kSerialized;
+  if (name == "threaded" || name == "threaded-serialized")
+    return TransportKind::kThreadedSerialized;
+  check_input(false, "unknown transport '" + name +
+                         "' (expected inproc|serialized|threaded)");
+  return TransportKind::kInProc;  // unreachable
+}
+
+TransportKind resolve_transport_kind(TransportKind kind) {
+  if (kind != TransportKind::kDefault) return kind;
+  // Read once: the env hook selects the process-wide default, which is
+  // how CI runs the whole tier-1 suite over the serialized wire without
+  // any test knowing (TREESCHED_TRANSPORT=serialized, see ci.yml).
+  static const TransportKind from_env = [] {
+    const char* env = std::getenv("TREESCHED_TRANSPORT");
+    if (env == nullptr || *env == '\0') return TransportKind::kInProc;
+    return parse_transport_kind(env);
+  }();
+  return from_env;
+}
+
+// --- codec -----------------------------------------------------------------
+
+namespace {
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  std::uint32_t u;
+  std::memcpy(&u, &v, 4);
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &u, 4);
+}
+
+std::int32_t get_i32(const std::uint8_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+std::size_t encode_message(const Message& m, std::vector<std::uint8_t>& out) {
+  const std::size_t before = out.size();
+  put_i32(out, m.from);
+  put_i32(out, m.to);
+  put_i32(out, m.tag);
+  put_i32(out, static_cast<std::int32_t>(m.data.size()));
+  const std::size_t at = out.size();
+  out.resize(at + 8 * m.data.size());
+  if (!m.data.empty())
+    std::memcpy(out.data() + at, m.data.data(), 8 * m.data.size());
+  return out.size() - before;
+}
+
+bool decode_message(std::span<const std::uint8_t> buf, std::size_t& offset,
+                    Message& out, std::string* error) {
+  if (offset > buf.size() || buf.size() - offset < 16) {
+    fail(error, "message header truncated (need 16 bytes)");
+    return false;
+  }
+  const std::uint8_t* p = buf.data() + offset;
+  const std::int32_t from = get_i32(p);
+  const std::int32_t to = get_i32(p + 4);
+  const std::int32_t tag = get_i32(p + 8);
+  const std::int32_t count = get_i32(p + 12);
+  if (from < 0 || to < 0) {
+    fail(error, "corrupt message header (negative endpoint)");
+    return false;
+  }
+  if (count < 0) {
+    fail(error, "corrupt message header (negative payload length)");
+    return false;
+  }
+  const std::size_t payload = 8 * static_cast<std::size_t>(count);
+  if (buf.size() - offset - 16 < payload) {
+    fail(error, "message payload truncated");
+    return false;
+  }
+  out.from = from;
+  out.to = to;
+  out.tag = tag;
+  out.data.resize(static_cast<std::size_t>(count));  // reuses capacity
+  if (count > 0) std::memcpy(out.data.data(), p + 16, payload);
+  offset += 16 + payload;
+  return true;
+}
+
+// --- backends --------------------------------------------------------------
+
+namespace {
+
+// The original single-process path: posted Messages are moved, never
+// encoded.  One in-flight list, one delivered vector per node.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int num_nodes)
+      : inbox_(static_cast<std::size_t>(num_nodes)) {}
+
+  void post(Message m) override { in_flight_.push_back(std::move(m)); }
+
+  void flush() override {
+    for (Message& m : in_flight_)
+      inbox_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+    in_flight_.clear();
+  }
+
+  void drain(int node, std::vector<Message>& out) override {
+    // Swap, don't copy: the recycled `out` donates its capacity as the
+    // node's next inbox storage.
+    out.clear();
+    out.swap(inbox_[static_cast<std::size_t>(node)]);
+  }
+
+  TransportKind kind() const override { return TransportKind::kInProc; }
+  const char* round_span_name() const override { return "round"; }
+
+ private:
+  std::vector<Message> in_flight_;
+  std::vector<std::vector<Message>> inbox_;
+};
+
+// Per-destination byte buffers shared by the two serialized backends.
+struct ByteBox {
+  std::vector<std::uint8_t> staging;   // posted since the last flush
+  std::int64_t staged_count = 0;
+  std::vector<std::uint8_t> delivery;  // flushed, not yet drained
+  std::int64_t count = 0;
+};
+
+// Moves a box's staged bytes across the round boundary, retaining both
+// buffers' capacity.
+void flush_box(ByteBox& box) {
+  if (box.staged_count == 0) return;
+  box.delivery.insert(box.delivery.end(), box.staging.begin(),
+                      box.staging.end());
+  box.staging.clear();
+  box.count += box.staged_count;
+  box.staged_count = 0;
+}
+
+// Decodes a box's delivered bytes into `out`, overwriting recycled
+// Message slots in place (payload capacity included) so a steady-state
+// round needs no allocation at all.
+void drain_box(ByteBox& box, std::vector<Message>& out,
+               std::int64_t& decoded) {
+  const auto n = static_cast<std::size_t>(box.count);
+  if (out.size() > n) out.resize(n);
+  std::size_t offset = 0;
+  std::size_t i = 0;
+  while (offset < box.delivery.size()) {
+    if (i == out.size()) out.emplace_back();
+    const bool ok = decode_message(
+        {box.delivery.data(), box.delivery.size()}, offset, out[i]);
+    TS_REQUIRE(ok);  // internal buffers are always well-formed
+    ++i;
+    ++decoded;
+  }
+  TS_REQUIRE(i == n);
+  box.delivery.clear();
+  box.count = 0;
+}
+
+// Every message crosses the codec: encoded into its destination's byte
+// buffer at post, decoded back out at drain.  Single-driver, like the
+// in-proc path.
+class SerializedTransport final : public Transport {
+ public:
+  explicit SerializedTransport(int num_nodes)
+      : box_(static_cast<std::size_t>(num_nodes)) {}
+
+  void post(Message m) override {
+    ByteBox& box = box_[static_cast<std::size_t>(m.to)];
+    const std::size_t bytes = encode_message(m, box.staging);
+    TS_DCHECK(bytes ==
+              static_cast<std::size_t>(message_wire_bytes(m)));
+    (void)bytes;
+    ++box.staged_count;
+    ++encoded_;
+  }
+
+  void flush() override {
+    for (ByteBox& box : box_) flush_box(box);
+  }
+
+  void drain(int node, std::vector<Message>& out) override {
+    drain_box(box_[static_cast<std::size_t>(node)], out, decoded_);
+  }
+
+  TransportKind kind() const override { return TransportKind::kSerialized; }
+  const char* round_span_name() const override { return "round.serialized"; }
+  std::int64_t codec_encoded() const override { return encoded_; }
+  std::int64_t codec_decoded() const override { return decoded_; }
+
+ private:
+  std::vector<ByteBox> box_;
+  std::int64_t encoded_ = 0;
+  std::int64_t decoded_ = 0;
+};
+
+// The serialized wire with each destination's staging queue behind its
+// own mutex: concurrent threads may post between round boundaries, and
+// distinct nodes' inboxes may be drained concurrently (each drain only
+// touches its own box).  flush() stays the single driver-side barrier —
+// the caller must guarantee no post is in flight across it, exactly the
+// synchronous-model discipline Runtime::step already imposes.
+class ThreadedSerializedTransport final : public Transport {
+ public:
+  explicit ThreadedSerializedTransport(int num_nodes)
+      : box_(static_cast<std::size_t>(num_nodes)),
+        mutex_(std::make_unique<std::mutex[]>(
+            static_cast<std::size_t>(num_nodes))) {}
+
+  void post(Message m) override {
+    const auto to = static_cast<std::size_t>(m.to);
+    std::lock_guard<std::mutex> lock(mutex_[to]);
+    encode_message(m, box_[to].staging);
+    ++box_[to].staged_count;
+    encoded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void flush() override {
+    for (std::size_t v = 0; v < box_.size(); ++v) {
+      std::lock_guard<std::mutex> lock(mutex_[v]);
+      flush_box(box_[v]);
+    }
+  }
+
+  void drain(int node, std::vector<Message>& out) override {
+    const auto v = static_cast<std::size_t>(node);
+    std::lock_guard<std::mutex> lock(mutex_[v]);
+    std::int64_t decoded = 0;
+    drain_box(box_[v], out, decoded);
+    decoded_.fetch_add(decoded, std::memory_order_relaxed);
+  }
+
+  TransportKind kind() const override {
+    return TransportKind::kThreadedSerialized;
+  }
+  const char* round_span_name() const override { return "round.threaded"; }
+  std::int64_t codec_encoded() const override {
+    return encoded_.load(std::memory_order_relaxed);
+  }
+  std::int64_t codec_decoded() const override {
+    return decoded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<ByteBox> box_;
+  std::unique_ptr<std::mutex[]> mutex_;  // one per destination box
+  std::atomic<std::int64_t> encoded_{0};
+  std::atomic<std::int64_t> decoded_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, int num_nodes) {
+  TS_REQUIRE(num_nodes > 0);
+  switch (resolve_transport_kind(kind)) {
+    case TransportKind::kSerialized:
+      return std::make_unique<SerializedTransport>(num_nodes);
+    case TransportKind::kThreadedSerialized:
+      return std::make_unique<ThreadedSerializedTransport>(num_nodes);
+    case TransportKind::kInProc:
+    case TransportKind::kDefault:
+      break;
+  }
+  return std::make_unique<InProcTransport>(num_nodes);
+}
+
+}  // namespace treesched

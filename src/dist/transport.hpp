@@ -1,0 +1,140 @@
+// The communication backend of the synchronous runtime (dist/runtime.hpp).
+//
+// The paper's protocols only ever touch three communication primitives:
+// post a message during the open round, flush at the round boundary, and
+// drain a node's inbox of everything delivered by past boundaries.  The
+// Transport interface is exactly those three calls; Runtime stays the
+// round-discipline shell (connect/step/round and the message/byte
+// accounting the theorems bound) and delegates the message movement to a
+// pluggable backend:
+//
+//   kInProc              the original single-process path: posted
+//                        Messages move between std::vectors, nothing is
+//                        serialized.  Bytes are *modeled* (counted, not
+//                        produced).  Default.
+//   kSerialized          every Message is encoded into its destination's
+//                        byte buffer at post time and decoded at drain
+//                        time — the byte counters become real serialized
+//                        sizes (the encoding is exactly the modeled
+//                        16-byte header + 8 bytes per double).  Buffers
+//                        are reused across rounds; the per-message
+//                        encode/decode hits are counted so tests can
+//                        assert every message really crossed the codec.
+//   kThreadedSerialized  the serialized wire with each destination's
+//                        staging queue behind its own mutex: post() is
+//                        safe from concurrent threads between round
+//                        boundaries, and distinct nodes' delivered
+//                        buffers may be drained concurrently.  step()
+//                        remains the single driver-side barrier.
+//
+// All backends are observationally identical: same delivery order (per
+// destination, posting order), same round/message/byte counts — the
+// parity suites hold them to exact (==) agreement.  A future socket/MPI
+// backend implements this same interface; the codec below is its wire
+// format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/prelude.hpp"
+
+namespace treesched {
+
+// One protocol message.  `data` is the payload; the paper's messages
+// carry O(1) demand records, so a handful of doubles suffices.
+struct Message {
+  int from = -1;
+  int to = -1;
+  int tag = 0;
+  std::vector<double> data;
+};
+
+// The modeled message cost charged by the accounting (and produced,
+// byte for byte, by the serialized codec): a 16-byte header
+// (from, to, tag, length) plus 8 bytes per payload double.
+inline std::int64_t message_wire_bytes(const Message& m) {
+  return 16 + 8 * static_cast<std::int64_t>(m.data.size());
+}
+
+enum class TransportKind {
+  kDefault,  // resolve via TREESCHED_TRANSPORT (unset -> kInProc)
+  kInProc,
+  kSerialized,
+  kThreadedSerialized,
+};
+
+const char* to_string(TransportKind kind);
+// "inproc" | "serialized" | "threaded" (alias "threaded-serialized");
+// throws std::invalid_argument on anything else (user-facing flags).
+TransportKind parse_transport_kind(const std::string& name);
+// Resolves kDefault through the TREESCHED_TRANSPORT environment variable
+// (read once per process, same env-hook pattern as TREESCHED_TRACE in
+// the parity suites); other kinds pass through unchanged.  Unset or
+// empty means kInProc.
+TransportKind resolve_transport_kind(TransportKind kind);
+
+// --- Message codec ---------------------------------------------------------
+//
+// Wire format (host byte order; the format of the serialized backends
+// and of any future out-of-process backend):
+//   int32 from | int32 to | int32 tag | int32 count | count x double
+// 16 + 8*count bytes per message — identical to the modeled charge, so
+// the byte counters mean the same thing on every backend.
+
+// Appends the encoding of `m` to `out`; returns the bytes appended
+// (always message_wire_bytes(m)).
+std::size_t encode_message(const Message& m, std::vector<std::uint8_t>& out);
+
+// Decodes one message from buf[offset...], advancing `offset` past it
+// and reusing `out`'s payload capacity.  On any malformed input —
+// truncated header, negative or impossible payload length, negative
+// endpoints — returns false with `offset` untouched and a diagnostic in
+// *error (when non-null).  Never reads past buf and never UB's on
+// garbage: the codec fuzz arm in tests/test_fuzz.cpp feeds it random
+// and truncated buffers under the sanitizers.
+bool decode_message(std::span<const std::uint8_t> buf, std::size_t& offset,
+                    Message& out, std::string* error = nullptr);
+
+// --- The backend interface -------------------------------------------------
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Queues `m` for delivery at the next flush().  Validation (channel
+  // open, endpoints in range) and accounting happen in Runtime before
+  // the call; the backend only moves the message.
+  virtual void post(Message m) = 0;
+
+  // Round boundary: everything posted since the previous flush() becomes
+  // drainable at its destination.  Driver-side only, on every backend.
+  virtual void flush() = 0;
+
+  // Fills `out` with node's delivered-but-undrained messages, in posting
+  // order, and empties the inbox.  `out` arrives in an arbitrary
+  // recycled state (it may still hold stale messages from a previous
+  // drain — see Runtime::recycle); the backend must leave it holding
+  // exactly the delivered messages, reusing its capacity where it can.
+  virtual void drain(int node, std::vector<Message>& out) = 0;
+
+  virtual TransportKind kind() const = 0;
+  // Name of the per-round trace span ("round", "round.serialized", ...)
+  // — a string literal, as the recorder requires.
+  virtual const char* round_span_name() const = 0;
+
+  // Codec hit counters: messages that crossed encode_message /
+  // decode_message.  Zero on the in-proc path; equal to messages_sent on
+  // the serialized paths once every inbox is drained (asserted by the
+  // transport-axis tests).
+  virtual std::int64_t codec_encoded() const { return 0; }
+  virtual std::int64_t codec_decoded() const { return 0; }
+};
+
+// Builds a backend (kDefault resolves through the environment first).
+std::unique_ptr<Transport> make_transport(TransportKind kind, int num_nodes);
+
+}  // namespace treesched

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include <queue>
 
@@ -13,6 +14,7 @@
 #include "decomp/layered.hpp"
 #include "dist/luby_mis.hpp"
 #include "dist/protocol_scheduler.hpp"
+#include "dist/transport.hpp"
 #include "dist/scheduler.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "framework/two_phase.hpp"
@@ -314,6 +316,151 @@ TEST(Fuzz, AdversarialFrontierShrinkAgreesAcrossAllEnginePaths) {
         ASSERT_EQ(ref.stats.lockstep_ok, got.stats.lockstep_ok) << what;
         ASSERT_EQ(ref.stats.mis_ok, got.stats.mis_ok) << what;
       }
+    }
+  }
+}
+
+TEST(Fuzz, MessageCodecRoundTripsRandomStreams) {
+  // Random message streams through the wire codec of the serialized
+  // transports: arbitrary tags, endpoints and payload lengths, payload
+  // doubles drawn as raw 64-bit patterns (so NaNs, infinities, denormals
+  // and -0.0 all occur).  Every decode must reproduce the source message
+  // bit for bit, consume exactly message_wire_bytes of the stream, and a
+  // re-encode of the decoded message must reproduce the consumed bytes.
+  Rng rng(410);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Message> batch;
+    std::vector<std::uint8_t> wire;
+    const int count = static_cast<int>(rng.uniform_int(1, 40));
+    for (int i = 0; i < count; ++i) {
+      Message m;
+      m.from = static_cast<int>(rng.next_below(1u << 20));
+      m.to = static_cast<int>(rng.next_below(1u << 20));
+      m.tag = static_cast<int>(rng.uniform_int(-100, 100));
+      const int len = static_cast<int>(rng.uniform_int(0, 12));
+      for (int d = 0; d < len; ++d) {
+        const std::uint64_t bits = rng.next();
+        double value;
+        std::memcpy(&value, &bits, sizeof value);
+        m.data.push_back(value);
+      }
+      EXPECT_EQ(encode_message(m, wire),
+                static_cast<std::size_t>(message_wire_bytes(m)));
+      batch.push_back(std::move(m));
+    }
+    std::size_t offset = 0;
+    Message out;  // reused across decodes, like the transports do
+    for (const Message& m : batch) {
+      const std::size_t before = offset;
+      std::string error;
+      ASSERT_TRUE(
+          decode_message({wire.data(), wire.size()}, offset, out, &error))
+          << "round " << round << ": " << error;
+      ASSERT_EQ(offset - before,
+                static_cast<std::size_t>(message_wire_bytes(m)));
+      ASSERT_EQ(out.from, m.from);
+      ASSERT_EQ(out.to, m.to);
+      ASSERT_EQ(out.tag, m.tag);
+      ASSERT_EQ(out.data.size(), m.data.size());
+      if (!m.data.empty())
+        ASSERT_EQ(std::memcmp(out.data.data(), m.data.data(),
+                              m.data.size() * sizeof(double)),
+                  0);
+      // decode(encode(m)) == m implies encode(decode(bytes)) == bytes.
+      std::vector<std::uint8_t> again;
+      encode_message(out, again);
+      ASSERT_EQ(std::memcmp(again.data(), wire.data() + before,
+                            again.size()),
+                0);
+    }
+    ASSERT_EQ(offset, wire.size());
+  }
+}
+
+TEST(Fuzz, MessageCodecSurvivesTruncationAndGarbage) {
+  // Adversarial buffers: random truncations of valid streams and outright
+  // random bytes.  decode_message must never crash, never read out of
+  // bounds (the CI sanitizer job runs this under ASan/UBSan), and on
+  // failure must leave the offset untouched and explain itself.
+  Rng rng(411);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::uint8_t> wire;
+    const int count = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < count; ++i) {
+      Message m{static_cast<int>(rng.next_below(100)),
+                static_cast<int>(rng.next_below(100)),
+                static_cast<int>(rng.next_below(16)), {}};
+      const int len = static_cast<int>(rng.uniform_int(0, 6));
+      for (int d = 0; d < len; ++d) m.data.push_back(rng.uniform());
+      encode_message(m, wire);
+    }
+    // Truncate at a random point strictly inside the last message.
+    const std::size_t cut =
+        wire.size() - 1 - rng.next_below(std::min<std::uint64_t>(
+                              wire.size(), 24));
+    std::size_t offset = 0;
+    Message out;
+    std::string error;
+    while (decode_message({wire.data(), cut}, offset, out, &error)) {
+    }
+    EXPECT_FALSE(error.empty()) << "round " << round;
+    EXPECT_LE(offset, cut);
+    const std::size_t failed_at = offset;
+    // A failed decode must not move the cursor.
+    EXPECT_FALSE(decode_message({wire.data(), cut}, offset, out));
+    EXPECT_EQ(offset, failed_at);
+
+    // Pure garbage: random bytes, random length.  Decoding loops to the
+    // end or stops at a rejection — either way cleanly.
+    std::vector<std::uint8_t> garbage(rng.next_below(64));
+    for (auto& b : garbage)
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    offset = 0;
+    while (offset < garbage.size() &&
+           decode_message({garbage.data(), garbage.size()}, offset, out)) {
+      ASSERT_LE(offset, garbage.size());
+    }
+  }
+}
+
+TEST(Fuzz, ProtocolTransportInvarianceOnRandomInstances) {
+  // Random problems through the full wide/narrow protocol on each
+  // backend: the serialized wires must reproduce the in-proc run's
+  // selection and counters exactly while pushing every message through
+  // the codec.
+  Rng rng(412);
+  for (int round = 0; round < 3; ++round) {
+    TreeScenarioSpec spec;
+    spec.num_vertices = static_cast<VertexId>(rng.uniform_int(16, 28));
+    spec.num_networks = 2;
+    spec.demands.num_demands = static_cast<int>(rng.uniform_int(8, 12));
+    spec.demands.heights = round == 0 ? HeightLaw::kUnit : HeightLaw::kBimodal;
+    spec.demands.height_min = 0.4;
+    spec.demands.profit_max = rng.uniform(10.0, 60.0);
+    spec.seed = 1200 + static_cast<std::uint64_t>(round);
+    const Problem p = make_tree_problem(spec);
+    const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+    ProtocolOptions options;
+    options.epsilon = 0.35;
+    options.seed = spec.seed;
+    options.keep_stack = true;
+    options.transport = TransportKind::kInProc;
+    const ProtocolRunResult ref = run_height_split_protocol(p, plan, options);
+    for (const TransportKind kind : {TransportKind::kSerialized,
+                                     TransportKind::kThreadedSerialized}) {
+      options.transport = kind;
+      const ProtocolRunResult got =
+          run_height_split_protocol(p, plan, options);
+      const std::string what = "round " + std::to_string(round) +
+                               " transport=" + to_string(kind);
+      ASSERT_EQ(got.solution.selected, ref.solution.selected) << what;
+      ASSERT_EQ(got.raise_stack, ref.raise_stack) << what;
+      ASSERT_EQ(got.lambda_observed, ref.lambda_observed) << what;
+      ASSERT_EQ(got.rounds, ref.rounds) << what;
+      ASSERT_EQ(got.messages, ref.messages) << what;
+      ASSERT_EQ(got.bytes, ref.bytes) << what;
+      ASSERT_EQ(got.codec_encoded, got.messages) << what;
+      ASSERT_EQ(got.codec_decoded, got.messages) << what;
     }
   }
 }

@@ -47,6 +47,65 @@ using testutil::require_feasible;
 using testutil::small_line_problem;
 using testutil::small_tree_problem;
 
+bool uses_codec(TransportKind kind) {
+  return kind == TransportKind::kSerialized ||
+         kind == TransportKind::kThreadedSerialized;
+}
+
+// The transport axis of the parity suite: reruns a protocol on each
+// serialized backend and holds every reported field — selection, stacks,
+// final LHS, lambda, and all round/message/byte counters, per pass and
+// total — to exact (==) equality with the reference run.  The codec
+// counters must additionally account for every charged message (each one
+// really encoded at post and decoded at drain).
+template <typename RunFn>
+void expect_transport_axis(const RunFn& rerun, const ProtocolRunResult& ref,
+                           const std::string& what) {
+  // The reference ran on whatever the environment resolved (in-proc
+  // unless TREESCHED_TRANSPORT overrides); its codec counters must
+  // already be consistent with that resolution.
+  EXPECT_EQ(ref.codec_encoded, uses_codec(ref.transport) ? ref.messages : 0)
+      << what;
+  EXPECT_EQ(ref.codec_decoded, ref.codec_encoded) << what;
+  for (const TransportKind kind :
+       {TransportKind::kSerialized, TransportKind::kThreadedSerialized}) {
+    const ProtocolRunResult got = rerun(kind);
+    const std::string tag = what + " transport=" + to_string(kind);
+    EXPECT_EQ(got.transport, kind) << tag;
+    EXPECT_EQ(got.solution.selected, ref.solution.selected) << tag;
+    EXPECT_EQ(got.raise_stack, ref.raise_stack) << tag;
+    // Doubles with ==: bit-identical across backends.
+    EXPECT_EQ(got.final_lhs, ref.final_lhs) << tag;
+    EXPECT_EQ(got.lambda_observed, ref.lambda_observed) << tag;
+    EXPECT_EQ(got.rounds, ref.rounds) << tag;
+    EXPECT_EQ(got.messages, ref.messages) << tag;
+    EXPECT_EQ(got.bytes, ref.bytes) << tag;
+    EXPECT_EQ(got.discovery_rounds, ref.discovery_rounds) << tag;
+    EXPECT_EQ(got.discovery_messages, ref.discovery_messages) << tag;
+    EXPECT_EQ(got.discovery_bytes, ref.discovery_bytes) << tag;
+    EXPECT_EQ(got.combine_rounds, ref.combine_rounds) << tag;
+    EXPECT_EQ(got.mis_ok, ref.mis_ok) << tag;
+    EXPECT_EQ(got.schedule_ok, ref.schedule_ok) << tag;
+    ASSERT_EQ(got.passes.size(), ref.passes.size()) << tag;
+    for (std::size_t i = 0; i < ref.passes.size(); ++i) {
+      const ProtocolPass& a = got.passes[i];
+      const ProtocolPass& b = ref.passes[i];
+      const std::string ptag = tag + " pass=" + std::to_string(i);
+      EXPECT_EQ(a.solution.selected, b.solution.selected) << ptag;
+      EXPECT_EQ(a.raise_stack, b.raise_stack) << ptag;
+      EXPECT_EQ(a.final_lhs, b.final_lhs) << ptag;
+      EXPECT_EQ(a.lambda_observed, b.lambda_observed) << ptag;
+      EXPECT_EQ(a.rounds, b.rounds) << ptag;
+      EXPECT_EQ(a.messages, b.messages) << ptag;
+      EXPECT_EQ(a.bytes, b.bytes) << ptag;
+    }
+    // The serialized wire demonstrably carried the run: every charged
+    // message crossed the codec, in and out.
+    EXPECT_EQ(got.codec_encoded, got.messages) << tag;
+    EXPECT_EQ(got.codec_decoded, got.messages) << tag;
+  }
+}
+
 // Central DualState replay of a protocol raise stack under the pass's
 // rule: the same tight_raise arithmetic, applied in the same order, to
 // the pre-sharding central state.  Exact (==) oracle for final_lhs.
@@ -173,6 +232,15 @@ void expect_single_pass_parity(const Problem& p, const LayeredPlan& plan,
                                options.capacity_aware_raises,
                                run.raise_stack))
       << what;
+
+  // And the whole run must be transport-invariant.
+  expect_transport_axis(
+      [&](TransportKind kind) {
+        ProtocolOptions axis = options;
+        axis.transport = kind;
+        return run_distributed_protocol(p, plan, axis);
+      },
+      run, what);
 }
 
 // Two-pass parity: run_height_split_protocol vs (a) solve_height_split
@@ -232,6 +300,16 @@ void expect_split_parity(const Problem& p, const LayeredPlan& plan,
                                  pass.raise_stack))
         << tag;
   }
+
+  // The two-pass run, including the better-of combination, must be
+  // transport-invariant.
+  expect_transport_axis(
+      [&](TransportKind kind) {
+        ProtocolOptions axis = options;
+        axis.transport = kind;
+        return run_height_split_protocol(p, plan, axis);
+      },
+      run, what);
 }
 
 TEST(ProtocolParity, TreeUnitBothDecompositions) {

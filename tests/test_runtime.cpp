@@ -2,14 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
 #include "dist/conflict_graph.hpp"
 #include "dist/luby_mis.hpp"
+#include "dist/transport.hpp"
 #include "test_util.hpp"
 
 namespace treesched {
 namespace {
 
 using testutil::small_tree_problem;
+
+// Every backend the transport-axis tests hold to identical behavior.
+constexpr TransportKind kAllTransports[] = {
+    TransportKind::kInProc, TransportKind::kSerialized,
+    TransportKind::kThreadedSerialized};
+
+bool uses_codec(TransportKind kind) {
+  return kind == TransportKind::kSerialized ||
+         kind == TransportKind::kThreadedSerialized;
+}
 
 TEST(Runtime, MessagesDeliveredAtRoundBoundary) {
   Runtime rt(3);
@@ -49,6 +65,304 @@ TEST(Runtime, ChannelsAreSymmetricAndIdempotent) {
   EXPECT_FALSE(rt.connected(0, 3));
   EXPECT_EQ(rt.channels(2).size(), 1u);
   EXPECT_EQ(rt.channels(3).size(), 1u);
+}
+
+// --- The transport axis ----------------------------------------------------
+//
+// Each backend moves messages differently (vector shuffles, serialized
+// byte buffers, mutex-guarded byte buffers), but the tests below hold
+// all of them to the exact same observable behavior: delivery at the
+// round boundary, per-destination posting order, and bit-identical
+// round/message/byte counters.
+
+TEST(Transport, RoundBoundaryDeliveryOnEveryBackend) {
+  for (TransportKind kind : kAllTransports) {
+    SCOPED_TRACE(to_string(kind));
+    Runtime rt(3, kind);
+    EXPECT_EQ(rt.transport_kind(), kind);
+    rt.connect(0, 1);
+    rt.connect(1, 2);
+    rt.post(Message{0, 1, 7, {1.5}});
+    rt.post(Message{2, 1, 9, {-2.0, 3.0}});
+    // Nothing is visible before the boundary, on any backend.
+    EXPECT_TRUE(rt.drain(1).empty());
+    rt.step();
+    const auto inbox = rt.drain(1);
+    ASSERT_EQ(inbox.size(), 2u);
+    EXPECT_EQ(inbox[0].from, 0);
+    EXPECT_EQ(inbox[0].tag, 7);
+    ASSERT_EQ(inbox[0].data.size(), 1u);
+    EXPECT_EQ(inbox[0].data[0], 1.5);
+    EXPECT_EQ(inbox[1].from, 2);
+    EXPECT_EQ(inbox[1].tag, 9);
+    ASSERT_EQ(inbox[1].data.size(), 2u);
+    EXPECT_EQ(inbox[1].data[0], -2.0);
+    EXPECT_EQ(inbox[1].data[1], 3.0);
+    EXPECT_TRUE(rt.drain(1).empty());
+  }
+}
+
+TEST(Transport, CountersIdenticalAcrossBackends) {
+  // One scripted exchange, replayed on every backend: rounds, messages,
+  // bytes, and the drained payloads must agree with == (the serialized
+  // backends really encode and decode, so equality here means the codec
+  // is lossless and the modeled byte charge equals the serialized size).
+  struct Observed {
+    int rounds = 0;
+    std::int64_t messages = 0, bytes = 0;
+    std::vector<Message> inbox0, inbox2;
+  };
+  auto run = [](TransportKind kind) {
+    Runtime rt(3, kind);
+    rt.connect(0, 1);
+    rt.connect(1, 2);
+    rt.connect(0, 2);
+    rt.post(Message{0, 2, 1, {0.5, -0.0, 1e300}});
+    rt.post(Message{1, 2, 2, {}});
+    rt.step();
+    rt.post(Message{2, 0, 3, {42.0}});
+    rt.step();
+    rt.step();  // idle round
+    Observed got;
+    got.rounds = rt.round();
+    got.messages = rt.messages_sent();
+    got.bytes = rt.bytes_sent();
+    got.inbox0 = rt.drain(0);
+    got.inbox2 = rt.drain(2);
+    return got;
+  };
+  const Observed ref = run(TransportKind::kInProc);
+  EXPECT_EQ(ref.rounds, 3);
+  EXPECT_EQ(ref.messages, 3);
+  EXPECT_EQ(ref.bytes, (16 + 24) + 16 + (16 + 8));
+  for (TransportKind kind : kAllTransports) {
+    SCOPED_TRACE(to_string(kind));
+    const Observed got = run(kind);
+    EXPECT_EQ(got.rounds, ref.rounds);
+    EXPECT_EQ(got.messages, ref.messages);
+    EXPECT_EQ(got.bytes, ref.bytes);
+    ASSERT_EQ(got.inbox0.size(), ref.inbox0.size());
+    ASSERT_EQ(got.inbox2.size(), ref.inbox2.size());
+    auto expect_same = [](const Message& a, const Message& b) {
+      EXPECT_EQ(a.from, b.from);
+      EXPECT_EQ(a.to, b.to);
+      EXPECT_EQ(a.tag, b.tag);
+      ASSERT_EQ(a.data.size(), b.data.size());
+      // memcmp, not ==: -0.0 and NaN payloads must survive bit for bit.
+      if (!a.data.empty())
+        EXPECT_EQ(std::memcmp(a.data.data(), b.data.data(),
+                              a.data.size() * sizeof(double)),
+                  0);
+    };
+    for (std::size_t i = 0; i < ref.inbox0.size(); ++i)
+      expect_same(got.inbox0[i], ref.inbox0[i]);
+    for (std::size_t i = 0; i < ref.inbox2.size(); ++i)
+      expect_same(got.inbox2[i], ref.inbox2[i]);
+  }
+}
+
+TEST(Transport, CodecHitsCountEveryMessageOnSerializedBackends) {
+  for (TransportKind kind : kAllTransports) {
+    SCOPED_TRACE(to_string(kind));
+    Runtime rt(4, kind);
+    for (int v = 1; v < 4; ++v) rt.connect(0, v);
+    const int kMessages = 10;
+    for (int i = 0; i < kMessages; ++i)
+      rt.post(Message{0, 1 + i % 3, i, {static_cast<double>(i)}});
+    rt.step();
+    EXPECT_EQ(rt.messages_sent(), kMessages);
+    if (uses_codec(kind)) {
+      // Encoded at post time, decoded only as inboxes drain.
+      EXPECT_EQ(rt.codec_encoded(), kMessages);
+      EXPECT_EQ(rt.codec_decoded(), 0);
+      for (int v = 0; v < 4; ++v) rt.recycle(rt.drain(v));
+      EXPECT_EQ(rt.codec_decoded(), kMessages);
+    } else {
+      for (int v = 0; v < 4; ++v) rt.recycle(rt.drain(v));
+      EXPECT_EQ(rt.codec_encoded(), 0);
+      EXPECT_EQ(rt.codec_decoded(), 0);
+    }
+  }
+}
+
+TEST(Transport, UndrainedRoundsAccumulateInPostingOrder) {
+  // Messages from several boundaries pile up in one inbox, oldest first,
+  // on every backend (the serialized wires append newly flushed bytes
+  // behind the undrained ones).
+  for (TransportKind kind : kAllTransports) {
+    SCOPED_TRACE(to_string(kind));
+    Runtime rt(2, kind);
+    rt.connect(0, 1);
+    for (int round = 0; round < 3; ++round) {
+      rt.post(Message{0, 1, round, {static_cast<double>(round)}});
+      rt.post(Message{1, 0, round, {}});
+      rt.step();
+    }
+    const auto inbox = rt.drain(1);
+    ASSERT_EQ(inbox.size(), 3u);
+    for (int round = 0; round < 3; ++round) {
+      EXPECT_EQ(inbox[static_cast<std::size_t>(round)].tag, round);
+      EXPECT_EQ(inbox[static_cast<std::size_t>(round)].data[0],
+                static_cast<double>(round));
+    }
+    EXPECT_EQ(rt.drain(0).size(), 3u);
+  }
+}
+
+TEST(Transport, ThreadedBackendAcceptsConcurrentPosts) {
+  // The one behavior kThreadedSerialized adds: post() is safe from
+  // concurrent threads between boundaries.  Counters and delivery must
+  // come out exact — no message lost, no byte miscounted.
+  Runtime rt(5, TransportKind::kThreadedSerialized);
+  for (int v = 1; v < 5; ++v) rt.connect(0, v);
+  const int kThreads = 4;
+  const int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rt, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        rt.post(Message{0, 1 + (t + i) % 4, t, {static_cast<double>(i)}});
+    });
+  }
+  for (auto& w : workers) w.join();
+  rt.step();
+  const std::int64_t total = kThreads * kPerThread;
+  EXPECT_EQ(rt.messages_sent(), total);
+  EXPECT_EQ(rt.bytes_sent(), total * (16 + 8));
+  EXPECT_EQ(rt.codec_encoded(), total);
+  std::int64_t delivered = 0;
+  for (int v = 1; v < 5; ++v)
+    delivered += static_cast<std::int64_t>(rt.drain(v).size());
+  EXPECT_EQ(delivered, total);
+  EXPECT_EQ(rt.codec_decoded(), total);
+}
+
+TEST(Transport, RecycledInboxesAreReusedWithoutReallocation) {
+  // The free-list contract: a drain/recycle loop settles into reusing
+  // the same vector — and, on the serialized wire, the same payload
+  // storage, overwritten in place by the decoder.
+  for (TransportKind kind : kAllTransports) {
+    SCOPED_TRACE(to_string(kind));
+    Runtime rt(2, kind);
+    rt.connect(0, 1);
+    // Warm up two cycles, remembering the buffers in play.  The in-proc
+    // backend swaps the recycled vector's storage with its inbox vector
+    // (two buffers ping-pong); the serialized backends decode into the
+    // recycled vector in place (one buffer, stable payload storage too).
+    const Message* slots[2] = {nullptr, nullptr};
+    const double* payload = nullptr;
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      rt.post(Message{0, 1, cycle, {1.0, 2.0, 3.0}});
+      rt.step();
+      std::vector<Message> inbox = rt.drain(1);
+      ASSERT_EQ(inbox.size(), 1u);
+      slots[cycle] = inbox.data();
+      payload = inbox[0].data.data();
+      rt.recycle(std::move(inbox));
+    }
+    // Steady state: the next drain hands back a warm buffer — no fresh
+    // allocation of the message vector.
+    rt.post(Message{0, 1, 9, {9.0, 8.0, 7.0}});
+    rt.step();
+    std::vector<Message> inbox = rt.drain(1);
+    ASSERT_EQ(inbox.size(), 1u);
+    EXPECT_TRUE(inbox.data() == slots[0] || inbox.data() == slots[1]);
+    if (uses_codec(kind)) {
+      // In-place decode: same Message slot, same payload buffer.
+      EXPECT_EQ(inbox.data(), slots[1]);
+      EXPECT_EQ(inbox[0].data.data(), payload);
+    }
+    EXPECT_EQ(inbox[0].tag, 9);
+    EXPECT_EQ(inbox[0].data[0], 9.0);
+  }
+}
+
+TEST(Transport, KindNamesParseAndResolve) {
+  EXPECT_EQ(parse_transport_kind("inproc"), TransportKind::kInProc);
+  EXPECT_EQ(parse_transport_kind("serialized"), TransportKind::kSerialized);
+  EXPECT_EQ(parse_transport_kind("threaded"),
+            TransportKind::kThreadedSerialized);
+  EXPECT_EQ(parse_transport_kind("threaded-serialized"),
+            TransportKind::kThreadedSerialized);
+  EXPECT_THROW(parse_transport_kind("carrier-pigeon"), std::invalid_argument);
+  // Non-default kinds pass through the resolver untouched.
+  for (TransportKind kind : kAllTransports)
+    EXPECT_EQ(resolve_transport_kind(kind), kind);
+  EXPECT_EQ(std::string(to_string(TransportKind::kSerialized)), "serialized");
+}
+
+// --- The message codec -----------------------------------------------------
+
+TEST(Codec, RoundTripPreservesEveryBitPattern) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Message messages[] = {
+      {0, 1, 0, {}},
+      {3, 7, 42, {1.5}},
+      {100, 200, -5, {0.0, -0.0, nan, inf, -inf, 5e-324, 1e308}},
+  };
+  std::vector<std::uint8_t> wire;
+  for (const Message& m : messages)
+    EXPECT_EQ(encode_message(m, wire),
+              static_cast<std::size_t>(message_wire_bytes(m)));
+  std::size_t offset = 0;
+  for (const Message& m : messages) {
+    Message got;
+    std::string error;
+    ASSERT_TRUE(decode_message({wire.data(), wire.size()}, offset, got, &error))
+        << error;
+    EXPECT_EQ(got.from, m.from);
+    EXPECT_EQ(got.to, m.to);
+    EXPECT_EQ(got.tag, m.tag);
+    ASSERT_EQ(got.data.size(), m.data.size());
+    if (!m.data.empty())
+      EXPECT_EQ(std::memcmp(got.data.data(), m.data.data(),
+                            m.data.size() * sizeof(double)),
+                0);
+  }
+  EXPECT_EQ(offset, wire.size());  // stream fully consumed
+}
+
+TEST(Codec, TruncatedBuffersAreRejectedWithDiagnostics) {
+  std::vector<std::uint8_t> wire;
+  encode_message(Message{1, 2, 3, {4.0, 5.0}}, wire);
+  // Every proper prefix fails cleanly: false, offset untouched, an error
+  // message that names the problem.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::size_t offset = 0;
+    Message out;
+    std::string error;
+    EXPECT_FALSE(decode_message({wire.data(), len}, offset, out, &error))
+        << "prefix " << len;
+    EXPECT_EQ(offset, 0u);
+    EXPECT_FALSE(error.empty());
+  }
+  // The full buffer still decodes.
+  std::size_t offset = 0;
+  Message out;
+  EXPECT_TRUE(decode_message({wire.data(), wire.size()}, offset, out));
+}
+
+TEST(Codec, CorruptHeadersAreRejected) {
+  auto corrupt_field = [](int field_index, std::int32_t value) {
+    std::vector<std::uint8_t> wire;
+    encode_message(Message{1, 2, 3, {4.0}}, wire);
+    std::memcpy(wire.data() + 4 * field_index, &value, 4);
+    std::size_t offset = 0;
+    Message out;
+    std::string error;
+    const bool ok =
+        decode_message({wire.data(), wire.size()}, offset, out, &error);
+    if (!ok) EXPECT_EQ(offset, 0u);
+    return ok;
+  };
+  EXPECT_FALSE(corrupt_field(0, -7));  // negative from
+  EXPECT_FALSE(corrupt_field(1, -1));  // negative to
+  EXPECT_FALSE(corrupt_field(3, -1));  // negative payload length
+  // A count pointing far past the buffer is truncation, not a crash.
+  EXPECT_FALSE(corrupt_field(3, 1 << 20));
+  // A negative tag is legal — tags are opaque.
+  EXPECT_TRUE(corrupt_field(2, -3));
 }
 
 TEST(ConflictGraphs, AdjacencyMatchesConflictPredicate) {
@@ -116,6 +430,41 @@ TEST(LubyProtocol, IsolatedVerticesSelectImmediately) {
   // owner; singleton buckets draw no replies and Luby sends nothing.
   EXPECT_EQ(result.messages, result.discovery_messages);
   EXPECT_EQ(result.discovery_messages, 9);
+}
+
+TEST(LubyProtocol, BitIdenticalOnEveryTransport) {
+  // The whole message-level Luby run — discovery plus the iteration loop
+  // — must come out identical on every backend: same selection, same
+  // counters, and on the serialized wires every charged message really
+  // crossed the codec.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Problem p = small_tree_problem(seed + 40, 24, 2, 14);
+    std::vector<InstanceId> all(static_cast<std::size_t>(p.num_instances()));
+    for (InstanceId i = 0; i < p.num_instances(); ++i)
+      all[static_cast<std::size_t>(i)] = i;
+    const ProtocolResult ref =
+        run_luby_protocol(p, {all.data(), all.size()}, seed,
+                          TransportKind::kInProc);
+    EXPECT_EQ(ref.codec_encoded, 0);
+    EXPECT_EQ(ref.codec_decoded, 0);
+    for (TransportKind kind : {TransportKind::kSerialized,
+                               TransportKind::kThreadedSerialized}) {
+      SCOPED_TRACE(to_string(kind));
+      const ProtocolResult got =
+          run_luby_protocol(p, {all.data(), all.size()}, seed, kind);
+      EXPECT_EQ(got.transport, kind);
+      ASSERT_EQ(got.selected, ref.selected);
+      EXPECT_EQ(got.rounds, ref.rounds);
+      EXPECT_EQ(got.messages, ref.messages);
+      EXPECT_EQ(got.bytes, ref.bytes);
+      EXPECT_EQ(got.discovery_rounds, ref.discovery_rounds);
+      EXPECT_EQ(got.discovery_messages, ref.discovery_messages);
+      EXPECT_EQ(got.discovery_bytes, ref.discovery_bytes);
+      // Every message encoded at post, every message decoded at drain.
+      EXPECT_EQ(got.codec_encoded, got.messages);
+      EXPECT_EQ(got.codec_decoded, got.messages);
+    }
+  }
 }
 
 }  // namespace

@@ -9,9 +9,17 @@
 //                 [--slack=2.0] [--heights=...] [--seed=1]
 //   treesched_cli info      <file>
 //   treesched_cli solve     <file> [--algo=auto|tree|line|seq|exact|
-//                 nonuniform] [--eps=0.1] [--ps] [--seed=1]
+//                 nonuniform|protocol] [--eps=0.1] [--ps] [--seed=1]
 //                 [--decomp=ideal|balancing|rootfix] [--out=sol.txt]
 //                 [--trace=trace.json]
+//                 [--transport=inproc|serialized|threaded]
+//
+// --algo=protocol runs the matching theorem as the *message-level*
+// protocol (dist/protocol_scheduler) instead of the modeled engine, and
+// --transport picks its communication backend (dist/transport.hpp);
+// unset, the TREESCHED_TRANSPORT environment hook decides.  On the
+// serialized backends the reported bytes are real serialized sizes and
+// the codec counters show every message crossing the wire format.
 //
 // Files produced by gen-* are the versioned text formats of io/text_io;
 // `solve` auto-detects tree vs line files by their header.  --trace
@@ -257,6 +265,37 @@ int cmd_solve(const Args& args) {
         problem.unit_height() ? solve_nonuniform_unit(problem, nopts)
                               : solve_nonuniform_narrow(problem, nopts);
     report(problem, r.solution, r.ratio_bound, r.stats, args);
+    return 0;
+  }
+  if (algo == "protocol") {
+    ProtocolOptions popts;
+    popts.epsilon = options.epsilon;
+    popts.seed = options.seed;
+    popts.transport = args.has("transport")
+                          ? parse_transport_kind(args.get("transport", ""))
+                          : TransportKind::kDefault;
+    const ProtocolDistResult r =
+        line ? (problem.unit_height()
+                    ? run_line_unit_protocol(problem, popts)
+                    : run_line_arbitrary_protocol(problem, popts))
+             : (problem.unit_height()
+                    ? run_tree_unit_protocol(problem, popts, options.decomp)
+                    : run_tree_arbitrary_protocol(problem, popts,
+                                                  options.decomp));
+    std::printf("transport: %s\n", to_string(r.run.transport));
+    std::printf("rounds: %lld  messages: %lld  bytes: %lld "
+                "(discovery: %lld/%lld/%lld)\n",
+                static_cast<long long>(r.run.rounds),
+                static_cast<long long>(r.run.messages),
+                static_cast<long long>(r.run.bytes),
+                static_cast<long long>(r.run.discovery_rounds),
+                static_cast<long long>(r.run.discovery_messages),
+                static_cast<long long>(r.run.discovery_bytes));
+    if (r.run.codec_encoded > 0)
+      std::printf("codec: %lld encoded, %lld decoded (serialized wire)\n",
+                  static_cast<long long>(r.run.codec_encoded),
+                  static_cast<long long>(r.run.codec_decoded));
+    report(problem, r.run.solution, r.ratio_bound, SolveStats{}, args);
     return 0;
   }
   // auto / tree / line: the matching distributed theorem.
