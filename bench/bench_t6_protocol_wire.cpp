@@ -60,14 +60,23 @@ int main(int argc, char** argv) {
   // arm reruns the tree sweep on that backend, hard-fails unless it
   // reproduces the in-proc run bit for bit, and records the codec
   // traffic under the perf gate.
+  // --faults=SPEC: the fault plan of the fault-injection arm (default
+  // the CI plan below; see parse_fault_plan in dist/transport.hpp).  The
+  // arm reruns the tree sweep under the plan, hard-fails if a masked
+  // (non-degraded) run diverges from the fault-free one, and records the
+  // recovery overhead (retransmit/dedup/CRC-reject counters) under the
+  // perf gate.
   std::string trace_path;
   std::string transport_name = "serialized";
+  std::string faults_spec = "drop=0.05,dup=0.02,corrupt=0.01,seed=1";
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
     if (arg.rfind("--transport=", 0) == 0) transport_name = arg.substr(12);
+    if (arg.rfind("--faults=", 0) == 0) faults_spec = arg.substr(9);
   }
   const TransportKind wire_kind = parse_transport_kind(transport_name);
+  const FaultPlan fault_plan = parse_fault_plan(faults_spec);
 
   print_claim("T6  message-level protocol vs modeled engine",
               "the fixed wire schedule spends discovery + sum_pass "
@@ -201,6 +210,73 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(row));
   }
   wire_table.print(std::cout);
+
+  // The fault-injection arm: the tree wide/narrow sweep once more, under
+  // the kFaulty recovery layer.  Any plan the retransmit budget masks
+  // must reproduce the fault-free run bit for bit (hard-fail otherwise —
+  // a silent wrong answer under faults is the one unacceptable outcome);
+  // a degraded run is reported as such and only its certificate is
+  // required to validate.  The recovery counters go under the perf gate
+  // as the arm's informational overhead.
+  Table fault_table(std::string("T6  fault arm (") + faults_spec +
+                    ", 4 seeds)");
+  fault_table.set_header({"seed", "retransmits", "deduped", "crc-rejected",
+                          "lost", "degraded", "identical"});
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Problem p = make_tree(seed + 10, HeightLaw::kBimodal,
+                                CapacityLaw::kUniform, 1.0);
+    ProtocolOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    options.transport = TransportKind::kInProc;
+    const ProtocolDistResult ref = run_tree_arbitrary_protocol(p, options);
+    options.transport = TransportKind::kSerialized;
+    options.faults = fault_plan;
+    const ProtocolDistResult got = run_tree_arbitrary_protocol(p, options);
+    const FaultStats& f = got.run.fault;
+    const bool identical =
+        got.run.solution.selected == ref.run.solution.selected &&
+        got.run.rounds == ref.run.rounds &&
+        got.run.messages == ref.run.messages &&
+        got.run.bytes == ref.run.bytes &&
+        got.run.lambda_observed == ref.run.lambda_observed;
+    fault_table.add_row({std::to_string(seed), std::to_string(f.retransmits),
+                         std::to_string(f.dup_dropped),
+                         std::to_string(f.corrupt_dropped),
+                         std::to_string(f.frames_lost),
+                         got.run.degraded ? "1" : "0",
+                         identical ? "1" : "0"});
+    if (!got.run.degraded && !identical) {
+      std::fprintf(stderr,
+                   "FATAL: masked fault plan diverged from the fault-free "
+                   "run on seed %llu\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    if (got.run.degraded && !got.run.certificate_ok) {
+      std::fprintf(stderr,
+                   "FATAL: degraded run's certificate failed central "
+                   "validation on seed %llu\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    // degraded/certificate_ok are join keys (like mis_ok): a flip under
+    // the committed plan re-keys the row and fails the gate.  The
+    // recovery counters gate as metrics via their _messages suffix.
+    JsonRecord row{{"arm", 4.0},
+                   {"seed", static_cast<double>(seed)},
+                   {"degraded", got.run.degraded ? 1.0 : 0.0},
+                   {"certificate_ok", got.run.certificate_ok ? 1.0 : 0.0},
+                   {"fault_retransmit_messages",
+                    static_cast<double>(f.retransmits)},
+                   {"fault_dedup_messages",
+                    static_cast<double>(f.dup_dropped)},
+                   {"fault_crc_reject_messages",
+                    static_cast<double>(f.corrupt_dropped)}};
+    append_protocol_fields(row, got.run);
+    runs.push_back(std::move(row));
+  }
+  fault_table.print(std::cout);
   emit_json("t6_protocol_wire", runs);
 
   if (!trace_path.empty()) {

@@ -131,8 +131,13 @@ DiscoveredNeighborhoods discover_conflicts(const Problem& problem,
     rt.recycle(std::move(inbox));
     std::sort(adj.begin(), adj.end());
     adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-    for (int u : adj)
-      if (u > v) rt.connect(v, u);
+    // Every member opens every channel its *own* neighborhood implies
+    // (connect is symmetric and idempotent, so fault-free this equals
+    // the old lower-id-opens rule).  Under a lossy transport the two
+    // sides can discover asymmetrically — a lost digest leaves one side
+    // blind — and each side must still be able to message the neighbors
+    // it *did* learn.
+    for (int u : adj) rt.connect(v, u);
   }
 
   result.rounds = rt.round() - rounds_before;

@@ -35,6 +35,17 @@
 // graph.  All traffic is charged to the Runtime's round/message/byte
 // counters, so protocols built on discovered neighborhoods account for
 // what learning the topology actually costs.
+//
+// Under the kFaulty transport (dist/transport.hpp) the rendezvous runs
+// unchanged: registrations and bucket digests ride the checksummed,
+// sequence-numbered recovery frames, so any fault plan the retransmit
+// budget masks yields bit-identical neighborhoods and counters.  If a
+// discovery frame exhausts the budget, the runtime flags the whole run
+// degraded — a lost registration/digest silently *shrinks* a discovered
+// neighborhood, which downstream can miss conflicts, which is exactly
+// why a degraded run's certificate must be re-validated centrally
+// (framework/certify.hpp) and its solution re-checked for feasibility by
+// the phase-2 prune before being reported.
 #pragma once
 
 #include <cstdint>

@@ -89,7 +89,8 @@ std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
 ProtocolResult run_luby_protocol(const Problem& problem,
                                  std::span<const InstanceId> members,
                                  std::uint64_t seed,
-                                 TransportKind transport) {
+                                 TransportKind transport,
+                                 const FaultPlan* faults) {
   ProtocolResult result;
   const int n = static_cast<int>(members.size());
   if (n == 0) return result;
@@ -97,7 +98,7 @@ ProtocolResult run_luby_protocol(const Problem& problem,
   // Neighborhoods come from the edge-owner rendezvous, charged to the
   // same runtime the Luby rounds run on — no global conflict graph.
   const RendezvousLayout layout = RendezvousLayout::for_problem(problem, n);
-  Runtime rt(layout.total, transport);
+  Runtime rt(layout.total, transport, faults);
   const DiscoveredNeighborhoods hood = discover_conflicts(problem, members, rt);
   result.discovery_rounds = hood.rounds;
   result.discovery_messages = hood.messages;
@@ -130,6 +131,8 @@ ProtocolResult run_luby_protocol(const Problem& problem,
   result.transport = rt.transport_kind();
   result.codec_encoded = rt.codec_encoded();
   result.codec_decoded = rt.codec_decoded();
+  if (const FaultStats* fs = rt.fault_stats()) result.fault = *fs;
+  result.degraded = rt.degraded();
   return result;
 }
 
@@ -237,19 +240,21 @@ MisResult LubyMis::run(std::span<const InstanceId> candidates) {
 // as a modeled oracle (see header).
 
 ProtocolLubyMis::ProtocolLubyMis(const Problem& problem, std::uint64_t seed,
-                                 int luby_budget)
+                                 int luby_budget, int max_retries)
     : ProtocolLubyMis(problem,
                       std::make_shared<std::vector<Rng>>(make_node_streams(
                           seed, problem.num_instances())),
                       luby_budget > 0
                           ? luby_budget
-                          : default_luby_budget(problem.num_instances())) {}
+                          : default_luby_budget(problem.num_instances()),
+                      max_retries) {}
 
 ProtocolLubyMis::ProtocolLubyMis(const Problem& problem,
                                  std::shared_ptr<std::vector<Rng>> streams,
-                                 int luby_budget)
+                                 int luby_budget, int max_retries)
     : problem_(&problem),
       budget_(luby_budget),
+      max_retries_(std::max(max_retries, 0)),
       streams_(std::move(streams)),
       edge_min_(static_cast<std::size_t>(problem.num_global_edges())),
       demand_min_(static_cast<std::size_t>(problem.num_demands())),
@@ -272,7 +277,69 @@ std::unique_ptr<MisOracle> ProtocolLubyMis::component_clone(
   // deliberately unused for stream derivation.
   (void)key;
   return std::unique_ptr<MisOracle>(
-      new ProtocolLubyMis(*problem_, streams_, budget_));
+      new ProtocolLubyMis(*problem_, streams_, budget_, max_retries_));
+}
+
+void ProtocolLubyMis::run_iteration(std::vector<InstanceId>& live,
+                                    std::vector<double>& draw,
+                                    std::vector<InstanceId>& next,
+                                    MisResult& result) {
+  ++stamp_;
+
+  // Each live node draws from its own stream (the protocol's round 1),
+  // then the clique minima of (draw, id) are computed over the live
+  // set — an instance wins iff it is the strict minimum of every
+  // clique it belongs to, i.e. beats every live conflicting neighbor.
+  for (std::size_t k = 0; k < live.size(); ++k)
+    draw[k] = (*streams_)[static_cast<std::size_t>(live[k])].uniform();
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    const Key key{draw[k], live[k]};
+    const DemandInstance& inst = problem_->instance(live[k]);
+    const auto d = static_cast<std::size_t>(inst.demand);
+    if (demand_stamp_[d] != stamp_ || key < demand_min_[d]) {
+      demand_stamp_[d] = stamp_;
+      demand_min_[d] = key;
+    }
+    for (EdgeId e : inst.edges) {
+      const auto ge = static_cast<std::size_t>(e);
+      if (edge_stamp_[ge] != stamp_ || key < edge_min_[ge]) {
+        edge_stamp_[ge] = stamp_;
+        edge_min_[ge] = key;
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    const Key key{draw[k], live[k]};
+    const DemandInstance& inst = problem_->instance(live[k]);
+    if (!(demand_min_[static_cast<std::size_t>(inst.demand)] == key))
+      continue;
+    bool wins = true;
+    for (EdgeId e : inst.edges) {
+      if (!(edge_min_[static_cast<std::size_t>(e)] == key)) {
+        wins = false;
+        break;
+      }
+    }
+    if (!wins) continue;
+    result.selected.push_back(live[k]);
+    demand_kill_[static_cast<std::size_t>(inst.demand)] = stamp_;
+    for (EdgeId e : inst.edges)
+      edge_kill_[static_cast<std::size_t>(e)] = stamp_;
+  }
+
+  next.clear();
+  for (InstanceId i : live) {
+    const DemandInstance& inst = problem_->instance(i);
+    bool dead = demand_kill_[static_cast<std::size_t>(inst.demand)] == stamp_;
+    for (EdgeId e : inst.edges) {
+      if (dead) break;
+      dead = edge_kill_[static_cast<std::size_t>(e)] == stamp_;
+    }
+    if (!dead) next.push_back(i);
+  }
+  live.swap(next);
+  draw.resize(live.size());
 }
 
 MisResult ProtocolLubyMis::run(std::span<const InstanceId> candidates) {
@@ -285,72 +352,38 @@ MisResult ProtocolLubyMis::run(std::span<const InstanceId> candidates) {
   std::vector<InstanceId> live(candidates.begin(), candidates.end());
   std::vector<double> draw(live.size(), 0.0);
   std::vector<InstanceId> next;
-  std::vector<Rng>& streams = *streams_;
 
   int iterations_used = 0;
   for (int iter = 0; iter < budget_ && !live.empty(); ++iter) {
     ++iterations_used;
-    ++stamp_;
-
-    // Each live node draws from its own stream (the protocol's round 1),
-    // then the clique minima of (draw, id) are computed over the live
-    // set — an instance wins iff it is the strict minimum of every
-    // clique it belongs to, i.e. beats every live conflicting neighbor.
-    for (std::size_t k = 0; k < live.size(); ++k)
-      draw[k] = streams[static_cast<std::size_t>(live[k])].uniform();
-    for (std::size_t k = 0; k < live.size(); ++k) {
-      const Key key{draw[k], live[k]};
-      const DemandInstance& inst = problem_->instance(live[k]);
-      const auto d = static_cast<std::size_t>(inst.demand);
-      if (demand_stamp_[d] != stamp_ || key < demand_min_[d]) {
-        demand_stamp_[d] = stamp_;
-        demand_min_[d] = key;
-      }
-      for (EdgeId e : inst.edges) {
-        const auto ge = static_cast<std::size_t>(e);
-        if (edge_stamp_[ge] != stamp_ || key < edge_min_[ge]) {
-          edge_stamp_[ge] = stamp_;
-          edge_min_[ge] = key;
-        }
-      }
-    }
-
-    for (std::size_t k = 0; k < live.size(); ++k) {
-      const Key key{draw[k], live[k]};
-      const DemandInstance& inst = problem_->instance(live[k]);
-      if (!(demand_min_[static_cast<std::size_t>(inst.demand)] == key))
-        continue;
-      bool wins = true;
-      for (EdgeId e : inst.edges) {
-        if (!(edge_min_[static_cast<std::size_t>(e)] == key)) {
-          wins = false;
-          break;
-        }
-      }
-      if (!wins) continue;
-      result.selected.push_back(live[k]);
-      demand_kill_[static_cast<std::size_t>(inst.demand)] = stamp_;
-      for (EdgeId e : inst.edges)
-        edge_kill_[static_cast<std::size_t>(e)] = stamp_;
-    }
-
-    next.clear();
-    for (InstanceId i : live) {
-      const DemandInstance& inst = problem_->instance(i);
-      bool dead =
-          demand_kill_[static_cast<std::size_t>(inst.demand)] == stamp_;
-      for (EdgeId e : inst.edges) {
-        if (dead) break;
-        dead = edge_kill_[static_cast<std::size_t>(e)] == stamp_;
-      }
-      if (!dead) next.push_back(i);
-    }
-    live.swap(next);
-    draw.resize(live.size());
+    run_iteration(live, draw, next, result);
   }
 
+  // Adaptive budget retry: a starved stage re-runs with the budget
+  // doubled per attempt instead of silently leaving nodes undecided.
+  // Unlike the fixed main schedule, retry rounds are adaptive: only
+  // iterations actually executed are charged (2 rounds each).  Because
+  // the iteration dynamics decompose across conflict-disjoint
+  // components and draws are per-instance, a serial whole-frontier run
+  // enters attempt a exactly when some component would — so the retry
+  // count merges across parallel components as a per-step max, just
+  // like the round count.
+  int attempt = 0;
+  while (!live.empty() && attempt < max_retries_) {
+    ++attempt;
+    ++result.retries;
+    const int extra = budget_ << attempt;
+    for (int iter = 0; iter < extra && !live.empty(); ++iter) {
+      ++iterations_used;
+      run_iteration(live, draw, next, result);
+      result.rounds += 2;
+    }
+  }
+  if (attempt > 0) TRACE_COUNTER("mis.budget_retries", attempt);
+
   // The protocol sorts a step's accumulated winners before raising;
-  // undecided leftovers (budget exhausted) are simply not selected.
+  // undecided leftovers (budget and retries exhausted) are simply not
+  // selected.
   std::sort(result.selected.begin(), result.selected.end());
   TRACE_HIST("mis.budget_iterations_used", iterations_used);
   if (!live.empty()) {

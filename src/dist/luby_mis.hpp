@@ -53,6 +53,15 @@ std::vector<Rng> make_node_streams(std::uint64_t seed, int count);
 // the modeled mirror oracle and the tests derive the same number.
 int default_luby_budget(int n);
 
+// Adaptive budget retry: when a fixed-budget MIS stage ends with
+// undecided nodes, the stage re-runs with the budget doubled (2x, then
+// 4x, ...) up to this many attempts before accepting the leftover as
+// undecided — the starved stage recovers instead of silently degrading
+// into mis_ok=false.  Shared default of the modeled oracle
+// (ProtocolLubyMis) and the wire protocol (ProtocolOptions) so their
+// lockstep parity is preserved.
+inline constexpr int kDefaultMisMaxRetries = 2;
+
 // Outcome of a message-level Luby run: selected member indexes plus the
 // Runtime's accounting, with the discovery share broken out (totals
 // include it) and the transport backend's codec hits (zero in-proc; ==
@@ -69,6 +78,11 @@ struct ProtocolResult {
   TransportKind transport = TransportKind::kInProc;
   std::int64_t codec_encoded = 0;
   std::int64_t codec_decoded = 0;
+  // Recovery-layer observability (kFaulty backend only; zero/false
+  // elsewhere).  degraded means at least one frame exhausted its
+  // retransmit budget — the selection is then a partial result.
+  FaultStats fault;
+  bool degraded = false;
 };
 
 // One message-level Luby iteration (exactly 2 synchronous rounds) over
@@ -94,7 +108,8 @@ std::vector<int> luby_iteration(std::span<const std::vector<int>> neighbors,
 // bit-identical (selection and counters) on every transport backend.
 ProtocolResult run_luby_protocol(
     const Problem& problem, std::span<const InstanceId> members,
-    std::uint64_t seed, TransportKind transport = TransportKind::kDefault);
+    std::uint64_t seed, TransportKind transport = TransportKind::kDefault,
+    const FaultPlan* faults = nullptr);
 
 // Round-counting Luby oracle over the implicit conflict cliques.  One
 // instance is stateful: successive run() calls consume the same random
@@ -169,8 +184,14 @@ class LubyMis : public MisOracle {
 class ProtocolLubyMis : public MisOracle {
  public:
   // `luby_budget` <= 0 derives default_luby_budget(num_instances).
+  // `max_retries` bounds the adaptive budget retry: a run() whose fixed
+  // budget ends with undecided candidates re-runs with the budget
+  // doubled per attempt (2x, 4x, ...), up to max_retries attempts,
+  // reporting the attempts in MisResult::retries and the extra
+  // iterations in MisResult::rounds.  0 restores the old silent-degrade
+  // behavior.
   ProtocolLubyMis(const Problem& problem, std::uint64_t seed,
-                  int luby_budget = 0);
+                  int luby_budget = 0, int max_retries = kDefaultMisMaxRetries);
 
   MisResult run(std::span<const InstanceId> candidates) override;
 
@@ -178,6 +199,7 @@ class ProtocolLubyMis : public MisOracle {
   std::unique_ptr<MisOracle> component_clone(std::uint64_t key) override;
 
   int luby_budget() const { return budget_; }
+  int max_retries() const { return max_retries_; }
 
  private:
   struct Key {
@@ -192,10 +214,18 @@ class ProtocolLubyMis : public MisOracle {
   };
 
   ProtocolLubyMis(const Problem& problem,
-                  std::shared_ptr<std::vector<Rng>> streams, int luby_budget);
+                  std::shared_ptr<std::vector<Rng>> streams, int luby_budget,
+                  int max_retries);
+
+  // One budgeted Luby iteration over `live` (draw, clique minima,
+  // winners into result.selected, survivor compaction) — the body both
+  // the main loop and the retry loop execute, so they cannot drift.
+  void run_iteration(std::vector<InstanceId>& live, std::vector<double>& draw,
+                     std::vector<InstanceId>& next, MisResult& result);
 
   const Problem* problem_;
   int budget_ = 1;
+  int max_retries_ = kDefaultMisMaxRetries;
   // Shared with component clones: components of one epoch are disjoint
   // instance sets, so concurrent clones touch disjoint streams.
   std::shared_ptr<std::vector<Rng>> streams_;

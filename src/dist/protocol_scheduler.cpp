@@ -8,6 +8,7 @@
 #include "dist/discovery.hpp"
 #include "dist/luby_mis.hpp"
 #include "dist/runtime.hpp"
+#include "framework/certify.hpp"
 #include "framework/dual_shard.hpp"
 #include "framework/two_phase.hpp"
 #include "obs/metrics.hpp"
@@ -21,6 +22,12 @@ namespace {
 // the rendezvous rounds (kTagRegister/kTagBucket).
 constexpr int kTagRaise = 2;  // payload: encode_raise() wire format
 constexpr int kTagKeep = 3;   // phase 2: {}
+
+// The wire's adaptive MIS retry bound must track the mirror oracle's
+// default, or the lockstep engine parity (compared with ==) breaks.
+static_assert(ProtocolOptions{}.mis_max_retries == kDefaultMisMaxRetries,
+              "ProtocolOptions::mis_max_retries must equal "
+              "kDefaultMisMaxRetries (dist/luby_mis.hpp)");
 
 // State shared by the passes of one protocol run: the runtime, the
 // discovered neighborhoods, and the per-processor random streams.  The
@@ -39,7 +46,7 @@ struct ProtocolState {
   ProtocolState(const Problem& problem, const ProtocolOptions& options)
       : n(problem.num_instances()),
         rt(std::max(RendezvousLayout::for_problem(problem, n).total, 1),
-           options.transport) {
+           options.transport, &options.faults) {
     // One runtime node per instance plus the rendezvous owner nodes.  The
     // conflict neighborhoods are *discovered*, not built: the 2-round
     // edge-owner rendezvous replaces the global ConflictGraph and is
@@ -121,7 +128,11 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
     for (int v = 0; v < n; ++v) {
       std::vector<Message> inbox = st.rt.drain(v);
       for (const Message& m : inbox) {
-        TS_REQUIRE(m.tag == kTagRaise);
+        // Only raise propagations matter here.  On a *lossy* run a lost
+        // winner notification can leave a dead node holding stale Luby
+        // traffic it never drained — skip it; on any masked (or
+        // fault-free) run nothing but kTagRaise can be in flight.
+        if (m.tag != kTagRaise) continue;
         shard[static_cast<std::size_t>(v)].apply_raise(
             {m.data.data(), m.data.size()});
       }
@@ -134,6 +145,9 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
   // so phase 2 can replay the full fixed schedule; the *reported* stack
   // strips the empty entries, matching the modeled engine's.
   std::vector<std::vector<InstanceId>> stack;
+  // Raise amounts, parallel to `stack` (one entry per winner, in raise
+  // order): the degraded-mode certificate replays them centrally.
+  std::vector<std::vector<double>> amount_log;
   std::vector<double> increments;
 
   for (int g = 0; g < plan.num_groups; ++g) {
@@ -158,6 +172,33 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
               neighbors, st.rt, participants, st.live, st.draw, st.node_rng);
           winners.insert(winners.end(), won.begin(), won.end());
         }
+        // Adaptive budget retry: a starved step re-runs with the budget
+        // doubled per attempt, up to options.mis_max_retries attempts —
+        // the same loop (condition order, early exit, stream
+        // consumption) as the mirror oracle ProtocolLubyMis::run, so the
+        // engine parity stays exact.  The extra rounds are the adaptive
+        // part of the otherwise-fixed schedule, broken out into
+        // mis_retry_rounds to keep the round identity checkable.
+        const auto any_live = [&] {
+          for (int v : participants)
+            if (st.live[static_cast<std::size_t>(v)]) return true;
+          return false;
+        };
+        int attempt = 0;
+        while (attempt < options.mis_max_retries && any_live()) {
+          ++attempt;
+          ++pass.mis_retries;
+          TRACE_COUNTER("protocol.mis_retries", 1);
+          const int extra = luby_budget << attempt;
+          for (int iter = 0; iter < extra && any_live(); ++iter) {
+            const std::int64_t r0 = st.rt.round();
+            const std::vector<int> won = luby_iteration(
+                neighbors, st.rt, participants, st.live, st.draw,
+                st.node_rng);
+            winners.insert(winners.end(), won.begin(), won.end());
+            pass.mis_retry_rounds += st.rt.round() - r0;
+          }
+        }
         for (int v : participants) {
           if (st.live[static_cast<std::size_t>(v)]) {
             pass.mis_ok = false;  // budget exhausted with undecided nodes
@@ -173,6 +214,8 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
         // rule is capacity-aware — so the wire format carries the
         // non-uniform rules unchanged.
         std::sort(winners.begin(), winners.end());
+        std::vector<double>& amounts = amount_log.emplace_back();
+        amounts.reserve(winners.size());
         for (InstanceId i : winners) {
           const DemandInstance& inst = problem.instance(i);
           const auto& critical = plan.critical[static_cast<std::size_t>(i)];
@@ -183,6 +226,7 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
           // raise arithmetic for every implementation.
           const double amount =
               rule.tight_raise(inst, critical, slack, increments);
+          amounts.push_back(amount);
           mine.raise_alpha(amount);
           for (std::size_t c = 0; c < critical.size(); ++c)
             mine.raise_beta(critical[c], increments[c]);
@@ -248,6 +292,19 @@ ProtocolPass run_pass(const Problem& problem, const LayeredPlan& plan,
   pass.messages = st.rt.messages_sent() - messages_before;
   pass.bytes = st.rt.bytes_sent() - bytes_before;
 
+  // Degraded-mode contract: if the recovery layer lost a frame, the
+  // shard-reported certificate may undercount — re-validate it against a
+  // central replay of the raises actually applied (framework/certify.hpp)
+  // before the stack is handed off below.
+  pass.degraded = st.rt.degraded();
+  if (pass.degraded) {
+    const ShardCertificate cert = validate_shard_certificate(
+        problem, plan, rule, stack, amount_log,
+        {pass.final_lhs.data(), pass.final_lhs.size()}, pass.lambda_observed,
+        active);
+    pass.certificate_ok = cert.valid;
+  }
+
   if (options.keep_stack) {
     pass.raise_stack.reserve(stack.size());
     for (auto& step : stack)
@@ -303,6 +360,8 @@ void finish_run(ProtocolRunResult& result, const ProtocolState& st) {
   result.transport = st.rt.transport_kind();
   result.codec_encoded = st.rt.codec_encoded();
   result.codec_decoded = st.rt.codec_decoded();
+  result.degraded = st.rt.degraded();
+  if (const FaultStats* fs = st.rt.fault_stats()) result.fault = *fs;
   // A pass's lambda_observed is always a real observed minimum (passes
   // run on non-empty classes only), so — unlike SolveStats::merge, whose
   // 0.0 means "no run contributed yet" — a 0.0 here is a genuine
@@ -313,6 +372,8 @@ void finish_run(ProtocolRunResult& result, const ProtocolState& st) {
   for (const ProtocolPass& pass : result.passes) {
     result.mis_ok = result.mis_ok && pass.mis_ok;
     result.schedule_ok = result.schedule_ok && pass.schedule_ok;
+    result.mis_retries += pass.mis_retries;
+    result.certificate_ok = result.certificate_ok && pass.certificate_ok;
     result.lambda_observed =
         any ? std::min(result.lambda_observed, pass.lambda_observed)
             : pass.lambda_observed;

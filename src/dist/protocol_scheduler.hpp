@@ -97,6 +97,20 @@ struct ProtocolOptions {
   // backend produces bit-identical results and counters; kDefault
   // resolves through the TREESCHED_TRANSPORT environment hook.
   TransportKind transport = TransportKind::kDefault;
+  // Fault injection: a non-empty plan wraps the transport in the kFaulty
+  // recovery layer (checksummed, sequence-numbered frames with bounded
+  // in-barrier retransmit — see dist/transport.hpp).  Whenever the
+  // recovery layer masks the plan, the run's results are bit-identical
+  // to the fault-free run; when the retransmit budget exhausts, the run
+  // is flagged degraded and its certificate is re-validated centrally.
+  FaultPlan faults;
+  // Adaptive MIS budget retry bound: a step whose fixed Luby budget
+  // leaves undecided participants re-runs with the budget doubled per
+  // attempt, up to this many attempts (0 = old silent-degrade
+  // behavior).  Must equal the mirror oracle's default
+  // (kDefaultMisMaxRetries in dist/luby_mis.hpp, asserted there) or the
+  // lockstep parity with the modeled engine breaks.
+  int mis_max_retries = 2;
 };
 
 // One executed pass of the protocol: a raising rule over an instance
@@ -112,7 +126,7 @@ struct ProtocolPass {
   double h_min = 1.0;
   double xi = 0.0;
   // Round accounting of this pass alone (identity:
-  // rounds = tuples * (2*luby_budget + 1) + tuples).
+  // rounds = tuples * (2*luby_budget + 1) + tuples + mis_retry_rounds).
   std::int64_t tuples = 0;
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
@@ -120,6 +134,22 @@ struct ProtocolPass {
   // Budget sufficiency (w.h.p. guarantees, observed).
   bool mis_ok = true;
   bool schedule_ok = true;
+  // Adaptive MIS budget retries: attempts entered (one per starved step
+  // per doubling) and the extra rounds their executed iterations cost —
+  // the adaptive part of the otherwise-fixed schedule, broken out so the
+  // round identity above stays exact.  Matches the modeled engine's
+  // SolveStats::mis_retries in lockstep (compared with ==).
+  std::int64_t mis_retries = 0;
+  std::int64_t mis_retry_rounds = 0;
+  // Degraded-mode contract: degraded is true iff the transport's
+  // recovery layer lost a frame by the end of this pass (monotone across
+  // a run's passes).  On a degraded pass the shard-reported certificate
+  // (final_lhs, lambda_observed) is re-validated against a central
+  // replay of the actually-applied raise amounts — certificate_ok says
+  // the reported values are conservative (shard LHS can only
+  // *undercount* under loss, so lambda stays a valid slackness bound).
+  bool degraded = false;
+  bool certificate_ok = true;
   // min LHS/p over the pass members (the pass's certified slackness).
   double lambda_observed = 1.0;
   // Phase-2 prune of this pass's stack (pre-combination).
@@ -180,6 +210,17 @@ struct ProtocolRunResult {
   TransportKind transport = TransportKind::kInProc;
   std::int64_t codec_encoded = 0;
   std::int64_t codec_decoded = 0;
+  // Adaptive MIS retries over all passes (sum).
+  std::int64_t mis_retries = 0;
+  // Fault/recovery observability (kFaulty backend only; zero/false
+  // elsewhere).  degraded: some frame exhausted the retransmit budget —
+  // the solution is a partial result (still primal-feasible by phase-2
+  // construction).  certificate_ok: every degraded pass's reported
+  // certificate validated against the central replay (AND over passes;
+  // true when nothing degraded).
+  FaultStats fault;
+  bool degraded = false;
+  bool certificate_ok = true;
 };
 
 // Runs the message-level protocol on `problem` under `plan` (tree or line

@@ -8,10 +8,11 @@
 
 namespace treesched {
 
-Runtime::Runtime(int num_nodes, TransportKind transport)
+Runtime::Runtime(int num_nodes, TransportKind transport,
+                 const FaultPlan* faults)
     : num_nodes_(num_nodes),
       adjacency_(static_cast<std::size_t>(num_nodes)),
-      transport_(make_transport(transport, num_nodes)) {
+      transport_(make_transport(transport, num_nodes, faults)) {
   TS_REQUIRE(num_nodes > 0);
   if (obs::tracing_enabled()) round_mark_ns_ = obs::trace_now_ns();
 }

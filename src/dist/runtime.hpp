@@ -38,9 +38,12 @@ namespace treesched {
 class Runtime {
  public:
   // `transport` picks the backend; kDefault resolves through the
-  // TREESCHED_TRANSPORT environment hook (unset -> in-proc).
+  // TREESCHED_TRANSPORT environment hook (unset -> in-proc).  A
+  // non-null `faults` with a non-empty plan wraps the backend in the
+  // kFaulty recovery layer (see make_transport for the env interplay).
   explicit Runtime(int num_nodes,
-                   TransportKind transport = TransportKind::kDefault);
+                   TransportKind transport = TransportKind::kDefault,
+                   const FaultPlan* faults = nullptr);
 
   // Opens the symmetric channel {a, b}.  Idempotent; a != b.
   void connect(int a, int b);
@@ -86,6 +89,14 @@ class Runtime {
   TransportKind transport_kind() const { return transport_->kind(); }
   std::int64_t codec_encoded() const { return transport_->codec_encoded(); }
   std::int64_t codec_decoded() const { return transport_->codec_decoded(); }
+
+  // Fault-injection observability (kFaulty backend only; nullptr /
+  // false elsewhere).  Note the logical counters above are charged at
+  // post(), *before* the transport touches the message — so
+  // messages_sent/bytes_sent are fault-independent by construction,
+  // which is half of the bit-identical-under-masking invariant.
+  const FaultStats* fault_stats() const { return transport_->fault_stats(); }
+  bool degraded() const { return transport_->degraded(); }
 
  private:
   bool valid(int node) const { return node >= 0 && node < num_nodes(); }

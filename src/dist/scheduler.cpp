@@ -144,6 +144,13 @@ double certified_lambda(const ProtocolRunResult& run, double epsilon) {
 // OPT_wide + OPT_narrow), each taken at the run's overall Delta, like
 // the modeled solve_arbitrary.
 double protocol_ratio_bound(const ProtocolRunResult& run, double epsilon) {
+  // Degraded-mode contract (dist/transport.hpp): a run that exhausted
+  // the retransmit budget still yields a primal-feasible solution, but
+  // its shard-reported lambda is only usable as a certificate when the
+  // central replay validated it.  A failed validation never produces a
+  // finite (unsound) bound.
+  if (run.degraded && !run.certificate_ok)
+    return std::numeric_limits<double>::infinity();
   const double lambda = certified_lambda(run, epsilon);
   if (!(lambda > 0.0)) return std::numeric_limits<double>::infinity();
   int delta = 0;

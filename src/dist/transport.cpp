@@ -1,9 +1,13 @@
 #include "dist/transport.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace treesched {
 
@@ -17,6 +21,8 @@ const char* to_string(TransportKind kind) {
       return "serialized";
     case TransportKind::kThreadedSerialized:
       return "threaded";
+    case TransportKind::kFaulty:
+      return "faulty";
   }
   return "?";
 }
@@ -26,8 +32,9 @@ TransportKind parse_transport_kind(const std::string& name) {
   if (name == "serialized") return TransportKind::kSerialized;
   if (name == "threaded" || name == "threaded-serialized")
     return TransportKind::kThreadedSerialized;
+  if (name == "faulty") return TransportKind::kFaulty;
   check_input(false, "unknown transport '" + name +
-                         "' (expected inproc|serialized|threaded)");
+                         "' (expected inproc|serialized|threaded|faulty)");
   return TransportKind::kInProc;  // unreachable
 }
 
@@ -112,6 +119,162 @@ bool decode_message(std::span<const std::uint8_t> buf, std::size_t& offset,
   if (count > 0) std::memcpy(out.data.data(), p + 16, payload);
   offset += 16 + payload;
   return true;
+}
+
+// --- frame codec -----------------------------------------------------------
+
+namespace {
+
+struct Crc32Table {
+  std::array<std::uint32_t, 256> entry;
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      entry[i] = c;
+    }
+  }
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t u) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &u, 4);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t u;
+  std::memcpy(&u, p, 4);
+  return u;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const Crc32Table table;
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data)
+    c = table.entry[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::size_t encode_frame(const Message& m, std::uint32_t seq,
+                         std::vector<std::uint8_t>& out) {
+  const std::size_t before = out.size();
+  put_u32(out, 0);  // checksum placeholder, patched below
+  put_u32(out, seq);
+  encode_message(m, out);
+  // The checksum covers everything after itself: seq + message bytes.
+  const std::uint32_t crc =
+      crc32({out.data() + before + 4, out.size() - before - 4});
+  std::memcpy(out.data() + before, &crc, 4);
+  return out.size() - before;
+}
+
+bool decode_frame(std::span<const std::uint8_t> buf, std::size_t& offset,
+                  std::uint32_t& seq, Message& out, std::string* error) {
+  if (offset > buf.size() || buf.size() - offset < 8) {
+    fail(error, "frame header truncated (need 8 bytes)");
+    return false;
+  }
+  const std::uint8_t* p = buf.data() + offset;
+  const std::uint32_t want = get_u32(p);
+  // Decode the inner message first to learn the frame length, then
+  // checksum exactly that many bytes.  A length corrupted into garbage
+  // fails the decode; a length corrupted into a *valid* smaller/larger
+  // frame still fails the CRC below, because the checksum covers the
+  // length field itself.
+  std::size_t inner = offset + 8;
+  if (!decode_message(buf, inner, out, error)) return false;
+  const std::uint32_t got = crc32({p + 4, inner - offset - 4});
+  if (got != want) {
+    fail(error, "frame checksum mismatch");
+    return false;
+  }
+  seq = get_u32(p + 4);
+  offset = inner;
+  return true;
+}
+
+// --- fault plan ------------------------------------------------------------
+
+namespace {
+
+double parse_rate(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double rate = 0.0;
+  try {
+    rate = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  check_input(used == value.size() && rate >= 0.0 && rate <= 1.0,
+              "fault plan: bad value for '" + key + "': '" + value +
+                  "' (expected a rate in [0,1])");
+  return rate;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  check_input(used == value.size(), "fault plan: bad value for '" + key +
+                                        "': '" + value + "'");
+  return v;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(',', at);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(at, end - at);
+    at = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    check_input(eq != std::string::npos,
+                "fault plan: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop") {
+      plan.drop = parse_rate(key, value);
+    } else if (key == "dup" || key == "duplicate") {
+      plan.duplicate = parse_rate(key, value);
+    } else if (key == "corrupt") {
+      plan.corrupt = parse_rate(key, value);
+    } else if (key == "reorder") {
+      plan.reorder = parse_rate(key, value);
+    } else if (key == "delay") {
+      plan.delay = parse_rate(key, value);
+    } else if (key == "maxdelay") {
+      plan.max_delay_rounds =
+          static_cast<int>(std::min<std::uint64_t>(parse_u64(key, value), 64));
+      check_input(plan.max_delay_rounds >= 1,
+                  "fault plan: maxdelay must be >= 1");
+    } else if (key == "budget" || key == "retransmit") {
+      plan.retransmit_budget =
+          static_cast<int>(std::min<std::uint64_t>(parse_u64(key, value), 64));
+    } else if (key == "seed") {
+      plan.seed = parse_u64(key, value);
+    } else if (key == "inner") {
+      plan.inner = parse_transport_kind(value);
+    } else {
+      check_input(false, "fault plan: unknown key '" + key +
+                             "' (expected drop|dup|corrupt|reorder|delay|"
+                             "maxdelay|budget|seed|inner)");
+    }
+  }
+  check_input(plan.drop + plan.duplicate + plan.corrupt + plan.delay <= 1.0,
+              "fault plan: drop+dup+corrupt+delay rates must sum to <= 1");
+  return plan;
 }
 
 // --- backends --------------------------------------------------------------
@@ -280,20 +443,300 @@ class ThreadedSerializedTransport final : public Transport {
   std::atomic<std::int64_t> decoded_{0};
 };
 
-}  // namespace
-
-std::unique_ptr<Transport> make_transport(TransportKind kind, int num_nodes) {
-  TS_REQUIRE(num_nodes > 0);
-  switch (resolve_transport_kind(kind)) {
+std::unique_ptr<Transport> make_concrete(TransportKind kind, int num_nodes) {
+  switch (kind) {
     case TransportKind::kSerialized:
       return std::make_unique<SerializedTransport>(num_nodes);
     case TransportKind::kThreadedSerialized:
       return std::make_unique<ThreadedSerializedTransport>(num_nodes);
-    case TransportKind::kInProc:
-    case TransportKind::kDefault:
-      break;
+    default:
+      return std::make_unique<InProcTransport>(num_nodes);
   }
-  return std::make_unique<InProcTransport>(num_nodes);
+}
+
+// The unreliable channel plus the recovery layer that masks it.  Every
+// post is framed (CRC32 + per-(src,dst) sequence number) into its
+// destination's pristine byte store; at the round barrier each frame's
+// channel outcome is drawn deterministically from the plan seed, the
+// receiver dedups / CRC-rejects / re-requests until every sequence
+// number is accounted for (delivered or, past the retransmit budget,
+// declared lost), and the surviving frames are decoded in posting order
+// into the inner backend — so whenever recovery wins, the inner backend
+// observes a byte stream identical to a fault-free run.  Single-driver,
+// like every non-threaded backend.
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(const FaultPlan& plan, int num_nodes)
+      : plan_(plan), box_(static_cast<std::size_t>(num_nodes)) {
+    TransportKind inner = plan_.inner;
+    if (inner == TransportKind::kDefault || inner == TransportKind::kFaulty)
+      inner = TransportKind::kSerialized;
+    plan_.inner = inner;
+    inner_ = make_concrete(inner, num_nodes);
+    if (plan_.max_delay_rounds < 1) plan_.max_delay_rounds = 1;
+    if (plan_.retransmit_budget < 0) plan_.retransmit_budget = 0;
+    for (DstBox& box : box_)
+      box.next_seq.assign(static_cast<std::size_t>(num_nodes), 0);
+    // Cumulative thresholds for the single per-frame uniform draw: the
+    // outcomes are mutually exclusive, which is what gives the counters
+    // their closed forms.
+    p_drop_ = plan_.drop;
+    p_dup_ = p_drop_ + plan_.duplicate;
+    p_corrupt_ = p_dup_ + plan_.corrupt;
+    p_delay_ = p_corrupt_ + plan_.delay;
+  }
+
+  void post(Message m) override {
+    DstBox& box = box_[static_cast<std::size_t>(m.to)];
+    FrameRef ref;
+    ref.src = m.from;
+    ref.seq = box.next_seq[static_cast<std::size_t>(m.from)]++;
+    ref.offset = box.bytes.size();
+    ref.len = encode_frame(m, ref.seq, box.bytes);
+    box.manifest.push_back(ref);
+    ++encoded_;
+    ++stats_.frames_posted;
+  }
+
+  void flush() override {
+    const FaultStats before = stats_;
+    for (std::size_t dst = 0; dst < box_.size(); ++dst)
+      deliver_box(static_cast<int>(dst));
+    inner_->flush();
+    TRACE_COUNTER("wire.fault.retransmits",
+                  stats_.retransmits - before.retransmits);
+    TRACE_COUNTER("wire.fault.dup_dropped",
+                  stats_.dup_dropped - before.dup_dropped);
+    TRACE_COUNTER("wire.fault.corrupt_dropped",
+                  stats_.corrupt_dropped - before.corrupt_dropped);
+    TRACE_COUNTER("wire.fault.frames_lost",
+                  stats_.frames_lost - before.frames_lost);
+  }
+
+  void drain(int node, std::vector<Message>& out) override {
+    inner_->drain(node, out);
+  }
+
+  TransportKind kind() const override { return TransportKind::kFaulty; }
+  const char* round_span_name() const override { return "round.faulty"; }
+  std::int64_t codec_encoded() const override { return encoded_; }
+  std::int64_t codec_decoded() const override { return decoded_; }
+  const FaultStats* fault_stats() const override { return &stats_; }
+  bool degraded() const override { return degraded_; }
+
+ private:
+  struct FrameRef {
+    int src = -1;
+    std::uint32_t seq = 0;
+    std::size_t offset = 0;
+    std::size_t len = 0;
+    bool received = false;
+  };
+  struct DstBox {
+    std::vector<std::uint8_t> bytes;    // pristine frames, posting order
+    std::vector<FrameRef> manifest;     // this round's frames
+    std::vector<std::uint32_t> next_seq;  // per-source stream position
+    std::vector<int> inflight;          // delayed originals: rounds left
+  };
+
+  // Every fault draw hashes (seed, src, dst, seq, attempt) — replayable
+  // from the seed alone and independent of call order.  Attempt 0 is
+  // the original transmission, 1..budget the retransmissions, and a
+  // disjoint constant the reorder draw.
+  static constexpr int kReorderAttempt = 1 << 20;
+  std::uint64_t fault_hash(int src, int dst, std::uint32_t seq,
+                           int attempt) const {
+    SplitMix64 a(plan_.seed ^
+                 (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                  << 32) ^
+                 static_cast<std::uint32_t>(dst));
+    SplitMix64 b(a.next() ^
+                 (static_cast<std::uint64_t>(seq) * 0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<std::uint64_t>(attempt) * 0xbf58476d1ce4e5b9ULL));
+    return b.next();
+  }
+  static double u01(std::uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  // Copies the frame, flips 1-3 distinct bits, and runs the real
+  // decoder: the corrupted arrival must fail the checksum.  CRC-32 has
+  // Hamming distance 4 out to ~91k bits, far beyond any frame here, so
+  // corrupt_undetected stays 0 — asserted by the fuzz suite.  Either
+  // way the frame is not delivered (on the never-taken undetected path
+  // we still know the ground truth).
+  void corrupt_and_check(const DstBox& box, const FrameRef& ref,
+                         std::uint64_t h) {
+    corrupt_scratch_.assign(box.bytes.begin() + ref.offset,
+                            box.bytes.begin() + ref.offset + ref.len);
+    const std::size_t nbits = 8 * ref.len;
+    const int flips = 1 + static_cast<int>((h >> 5) % 3);
+    const std::size_t first = (h >> 7) % nbits;
+    for (int k = 0; k < flips; ++k) {
+      const std::size_t bit = (first + static_cast<std::size_t>(k)) % nbits;
+      corrupt_scratch_[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    std::size_t off = 0;
+    std::uint32_t seq = 0;
+    if (decode_frame({corrupt_scratch_.data(), corrupt_scratch_.size()}, off,
+                     seq, corrupt_msg_) &&
+        seq == ref.seq) {
+      ++stats_.corrupt_undetected;
+    } else {
+      ++stats_.corrupt_dropped;
+    }
+  }
+
+  void deliver_box(int dst) {
+    DstBox& box = box_[static_cast<std::size_t>(dst)];
+    // Delayed originals from earlier rounds arrive now; their sequence
+    // numbers were already settled (retransmitted or declared lost) in
+    // their own round, so they are stale and deduped on sight.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < box.inflight.size(); ++i) {
+      if (--box.inflight[i] > 0)
+        box.inflight[keep++] = box.inflight[i];
+      else
+        ++stats_.dup_dropped;
+    }
+    box.inflight.resize(keep);
+    if (box.manifest.empty()) return;
+
+    // Channel outcomes: one draw per frame against the cumulative rates.
+    std::int64_t arrivals = 0;
+    for (FrameRef& ref : box.manifest) {
+      const std::uint64_t h = fault_hash(ref.src, dst, ref.seq, 0);
+      const double u = u01(h);
+      if (u < p_drop_) {
+        ++stats_.frames_dropped;
+      } else if (u < p_dup_) {
+        // Both copies arrive; the second is deduped by sequence number.
+        ref.received = true;
+        ++arrivals;
+        ++stats_.frames_duplicated;
+        ++stats_.dup_dropped;
+      } else if (u < p_corrupt_) {
+        ++stats_.frames_corrupted;
+        corrupt_and_check(box, ref, h);
+      } else if (u < p_delay_) {
+        ++stats_.frames_delayed;
+        box.inflight.push_back(
+            1 + static_cast<int>((h & 0xFFFF) %
+                                 static_cast<std::uint64_t>(
+                                     plan_.max_delay_rounds)));
+      } else {
+        ref.received = true;
+        ++arrivals;
+      }
+    }
+
+    // Within-round reorder shuffles arrival order on the channel, but
+    // the receiver reassembles in sequence order (the manifest *is* the
+    // per-source sequence order), so it is masked by construction —
+    // only counted.
+    if (plan_.reorder > 0.0 && arrivals > 1) {
+      for (const FrameRef& ref : box.manifest) {
+        if (!ref.received) continue;
+        if (u01(fault_hash(ref.src, dst, ref.seq, kReorderAttempt)) <
+            plan_.reorder)
+          ++stats_.frames_reordered;
+      }
+    }
+
+    // Ack/retransmit inside the barrier: the receiver knows each
+    // source's expected next sequence number, so every missing frame is
+    // identified by its gap and re-requested.  A retransmission can
+    // itself be dropped or corrupted; past the budget the frame is lost
+    // and the run is permanently degraded.
+    for (FrameRef& ref : box.manifest) {
+      if (ref.received) continue;
+      for (int a = 1; a <= plan_.retransmit_budget && !ref.received; ++a) {
+        ++stats_.retransmits;
+        const std::uint64_t h = fault_hash(ref.src, dst, ref.seq, a);
+        const double u = u01(h);
+        if (u < plan_.drop) continue;
+        if (u < plan_.drop + plan_.corrupt) {
+          corrupt_and_check(box, ref, h);
+          continue;
+        }
+        ref.received = true;
+      }
+      if (!ref.received) {
+        ++stats_.frames_lost;
+        degraded_ = true;
+      }
+    }
+
+    // Deliver in posting order: decode each accepted pristine frame —
+    // the real checksum check — and hand the message to the inner
+    // backend, which then behaves exactly as in a fault-free run.
+    for (const FrameRef& ref : box.manifest) {
+      if (!ref.received) continue;
+      std::size_t off = ref.offset;
+      std::uint32_t seq = 0;
+      const bool ok = decode_frame({box.bytes.data(), ref.offset + ref.len},
+                                   off, seq, scratch_);
+      TS_REQUIRE(ok && seq == ref.seq);  // pristine store, by construction
+      ++decoded_;
+      ++stats_.frames_delivered;
+      inner_->post(std::move(scratch_));
+    }
+    box.bytes.clear();
+    box.manifest.clear();
+  }
+
+  FaultPlan plan_;
+  std::unique_ptr<Transport> inner_;
+  std::vector<DstBox> box_;
+  FaultStats stats_;
+  bool degraded_ = false;
+  double p_drop_ = 0.0, p_dup_ = 0.0, p_corrupt_ = 0.0, p_delay_ = 0.0;
+  std::int64_t encoded_ = 0;
+  std::int64_t decoded_ = 0;
+  Message scratch_;
+  Message corrupt_msg_;
+  std::vector<std::uint8_t> corrupt_scratch_;
+};
+
+// TREESCHED_FAULTS, read once per process (same hook pattern as
+// TREESCHED_TRANSPORT).  Returns nullptr when unset/empty.
+const FaultPlan* env_fault_plan() {
+  static const FaultPlan* plan = []() -> const FaultPlan* {
+    const char* env = std::getenv("TREESCHED_FAULTS");
+    if (env == nullptr || *env == '\0') return nullptr;
+    static const FaultPlan parsed = parse_fault_plan(env);
+    return &parsed;
+  }();
+  return plan;
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, int num_nodes,
+                                          const FaultPlan* faults) {
+  TS_REQUIRE(num_nodes > 0);
+  // Only a default-kind request (or an explicit kFaulty) may be wrapped
+  // by the environment: explicitly requested concrete backends keep
+  // their exact semantics even under TREESCHED_FAULTS, so the env-driven
+  // fault CI job doesn't disturb explicit-kind tests.
+  const bool env_eligible =
+      kind == TransportKind::kDefault || kind == TransportKind::kFaulty;
+  const TransportKind resolved = resolve_transport_kind(kind);
+  FaultPlan plan;
+  bool faulty = resolved == TransportKind::kFaulty;
+  if (faults != nullptr && faults->any()) {
+    plan = *faults;
+    if (resolved != TransportKind::kFaulty) plan.inner = resolved;
+    faulty = true;
+  } else if (env_eligible) {
+    if (const FaultPlan* env = env_fault_plan()) {
+      plan = *env;
+      if (resolved != TransportKind::kFaulty) plan.inner = resolved;
+      faulty = true;
+    }
+  }
+  if (faulty) return std::make_unique<FaultyTransport>(plan, num_nodes);
+  return make_concrete(resolved, num_nodes);
 }
 
 }  // namespace treesched

@@ -26,12 +26,29 @@
 //                        boundaries, and distinct nodes' delivered
 //                        buffers may be drained concurrently.  step()
 //                        remains the single driver-side barrier.
+//   kFaulty              an *unreliable* channel plus the recovery layer
+//                        that masks it: wraps any inner backend, frames
+//                        every message with a CRC32 and a per-(src,dst)
+//                        sequence number, and applies a seeded
+//                        deterministic FaultPlan (drop / duplicate /
+//                        within-round reorder / payload bit-corruption /
+//                        round delay).  Inside the round barrier the
+//                        receiver dedups duplicates by sequence, rejects
+//                        corrupt frames by checksum, and re-requests
+//                        missing sequence numbers through a bounded
+//                        ack/retransmit exchange.  While the recovery
+//                        budget holds, delivery is bit-identical to the
+//                        fault-free run; when it exhausts, the transport
+//                        reports degraded() and counts the loss — never
+//                        UB, never a hang.
 //
 // All backends are observationally identical: same delivery order (per
 // destination, posting order), same round/message/byte counts — the
 // parity suites hold them to exact (==) agreement.  A future socket/MPI
 // backend implements this same interface; the codec below is its wire
-// format.
+// format, and the kFaulty recovery sublayer (frame checksum + sequence
+// numbers + in-barrier retransmit) is the reliability contract it must
+// honor.
 #pragma once
 
 #include <cstdint>
@@ -65,11 +82,13 @@ enum class TransportKind {
   kInProc,
   kSerialized,
   kThreadedSerialized,
+  kFaulty,
 };
 
 const char* to_string(TransportKind kind);
-// "inproc" | "serialized" | "threaded" (alias "threaded-serialized");
-// throws std::invalid_argument on anything else (user-facing flags).
+// "inproc" | "serialized" | "threaded" (alias "threaded-serialized") |
+// "faulty"; throws std::invalid_argument on anything else (user-facing
+// flags).
 TransportKind parse_transport_kind(const std::string& name);
 // Resolves kDefault through the TREESCHED_TRANSPORT environment variable
 // (read once per process, same env-hook pattern as TREESCHED_TRACE in
@@ -98,6 +117,90 @@ std::size_t encode_message(const Message& m, std::vector<std::uint8_t>& out);
 // and truncated buffers under the sanitizers.
 bool decode_message(std::span<const std::uint8_t> buf, std::size_t& offset,
                     Message& out, std::string* error = nullptr);
+
+// --- Fault injection -------------------------------------------------------
+//
+// The kFaulty backend draws every fault from a SplitMix64 hash of
+// (plan seed, src, dst, sequence number, attempt) — deterministic,
+// independent of call order, and replayable from the seed alone.  The
+// per-frame outcomes are mutually exclusive (one uniform draw against
+// the cumulative rates), which gives the counter accounting closed
+// forms the tests pin down.
+
+struct FaultPlan {
+  double drop = 0.0;       // frame vanishes; recovered by retransmit
+  double duplicate = 0.0;  // frame arrives twice; deduped by sequence
+  double corrupt = 0.0;    // 1-3 payload bits flip; rejected by CRC32
+  double reorder = 0.0;    // within-round arrival shuffle; masked by
+                           // sequence-ordered reassembly
+  double delay = 0.0;      // frame slips 1..max_delay_rounds rounds;
+                           // recovered by retransmit, the late original
+                           // arrives as a stale duplicate
+  int max_delay_rounds = 2;
+  // Retransmit attempts per missing frame before the transport declares
+  // the frame lost and flags the run degraded.
+  int retransmit_budget = 8;
+  std::uint64_t seed = 1;
+  // Backend the recovery layer wraps (a concrete kind; kDefault/kFaulty
+  // fall back to kSerialized).
+  TransportKind inner = TransportKind::kSerialized;
+
+  bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || corrupt > 0.0 ||
+           reorder > 0.0 || delay > 0.0;
+  }
+};
+
+// Parses "drop=0.05,dup=0.02,corrupt=0.01,reorder=0.1,delay=0.05,
+// maxdelay=2,budget=8,seed=1,inner=serialized" (any subset, any order;
+// "duplicate" and "retransmit" accepted as aliases).  The empty string
+// is the empty plan.  Throws std::invalid_argument on unknown keys or
+// unparsable values — this is the TREESCHED_FAULTS / --faults= format.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+// Every counter is a frame count.  Closed forms (asserted by
+// tests/test_runtime.cpp): frames_delivered + frames_lost ==
+// frames_posted always; corrupt_undetected == 0 always (CRC32 detects
+// every <=3-bit flip at our frame sizes); with only duplication
+// injected, dup_dropped == frames_duplicated and retransmits == 0.
+struct FaultStats {
+  std::int64_t frames_posted = 0;
+  std::int64_t frames_delivered = 0;
+  std::int64_t frames_dropped = 0;     // first-attempt drops
+  std::int64_t frames_duplicated = 0;
+  std::int64_t frames_corrupted = 0;   // first-attempt corruptions
+  std::int64_t frames_delayed = 0;
+  std::int64_t frames_reordered = 0;   // displaced within a round
+  std::int64_t retransmits = 0;        // re-request attempts, all frames
+  std::int64_t dup_dropped = 0;        // stale/duplicate arrivals deduped
+  std::int64_t corrupt_dropped = 0;    // CRC-rejected arrivals (any attempt)
+  std::int64_t corrupt_undetected = 0; // corrupt frame passed CRC (never)
+  std::int64_t frames_lost = 0;        // retransmit budget exhausted
+};
+
+// --- Frame codec -----------------------------------------------------------
+//
+// The recovery layer's frame around the message codec:
+//   uint32 crc32 | uint32 seq | encoded message
+// where the checksum covers the sequence number and the message bytes.
+// `seq` numbers the (src, dst) stream so the receiver can dedup
+// duplicates and name missing frames in the ack/retransmit exchange.
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320 polynomial).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Appends the frame for (m, seq) to `out`; returns the bytes appended
+// (8 + message_wire_bytes(m)).
+std::size_t encode_frame(const Message& m, std::uint32_t seq,
+                         std::vector<std::uint8_t>& out);
+
+// Decodes one frame from buf[offset...], advancing `offset` past it.
+// Returns false — with `offset` untouched — on a truncated header, a
+// checksum mismatch, or a malformed inner message; corruption anywhere
+// in the frame is detected here, never silently mis-decoded.
+bool decode_frame(std::span<const std::uint8_t> buf, std::size_t& offset,
+                  std::uint32_t& seq, Message& out,
+                  std::string* error = nullptr);
 
 // --- The backend interface -------------------------------------------------
 
@@ -129,12 +232,30 @@ class Transport {
   // Codec hit counters: messages that crossed encode_message /
   // decode_message.  Zero on the in-proc path; equal to messages_sent on
   // the serialized paths once every inbox is drained (asserted by the
-  // transport-axis tests).
+  // transport-axis tests).  The kFaulty backend counts at the frame
+  // layer: encoded at post, decoded when a pristine frame is accepted —
+  // so both still equal messages_sent whenever recovery masks the plan.
   virtual std::int64_t codec_encoded() const { return 0; }
   virtual std::int64_t codec_decoded() const { return 0; }
+
+  // Fault-injection observability; non-null / meaningful only on the
+  // kFaulty backend.  degraded() flips (monotonically) the first time a
+  // frame exhausts its retransmit budget — from then on delivery is no
+  // longer bit-identical to the fault-free run and results must be
+  // treated as partial.
+  virtual const FaultStats* fault_stats() const { return nullptr; }
+  virtual bool degraded() const { return false; }
 };
 
 // Builds a backend (kDefault resolves through the environment first).
-std::unique_ptr<Transport> make_transport(TransportKind kind, int num_nodes);
+// `faults`, when non-null with a non-empty plan, wraps the resolved
+// backend in the kFaulty recovery layer (the resolved concrete kind
+// becomes the inner backend).  Otherwise, when the caller asked for
+// kDefault or kFaulty, the TREESCHED_FAULTS environment variable (read
+// once per process) supplies the plan — explicitly requested concrete
+// kinds are never wrapped by the environment, so an env-driven fault
+// run leaves explicit-kind tests untouched.
+std::unique_ptr<Transport> make_transport(TransportKind kind, int num_nodes,
+                                          const FaultPlan* faults = nullptr);
 
 }  // namespace treesched

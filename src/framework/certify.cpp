@@ -1,6 +1,9 @@
 #include "framework/certify.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/prelude.hpp"
 
 namespace treesched {
 
@@ -30,6 +33,53 @@ bool all_satisfied(const Problem& problem, const DualState& dual,
     if (lhs < level * inst.profit - kEps * inst.profit) return false;
   }
   return true;
+}
+
+ShardCertificate validate_shard_certificate(
+    const Problem& problem, const LayeredPlan& plan, const RaiseRule& rule,
+    const std::vector<std::vector<InstanceId>>& stack,
+    const std::vector<std::vector<double>>& amounts,
+    std::span<const double> reported_lhs, double reported_lambda,
+    const std::vector<char>& active_mask) {
+  TS_REQUIRE(stack.size() == amounts.size());
+  ShardCertificate cert;
+  // Replay the logged raises into a central DualState: the ground-truth
+  // aggregate dual of the degraded run.  Amounts are replayed verbatim
+  // (beta_increments, not tight_raise) — the slack each winner saw on its
+  // possibly-stale shard is exactly what it applied and shipped, so the
+  // replay reconstructs the true dual vector regardless of which
+  // propagations were lost.
+  DualState dual(problem);
+  std::vector<double> increments;
+  for (std::size_t s = 0; s < stack.size(); ++s) {
+    const auto& step = stack[s];
+    const auto& amount = amounts[s];
+    TS_REQUIRE(step.size() == amount.size());
+    for (std::size_t k = 0; k < step.size(); ++k) {
+      const InstanceId i = step[k];
+      const DemandInstance& inst = problem.instance(i);
+      const auto& critical = plan.critical[static_cast<std::size_t>(i)];
+      rule.beta_increments(inst,
+                           {critical.data(), critical.size()},
+                           amount[k], increments);
+      dual.raise_alpha(inst.demand, amount[k]);
+      for (std::size_t c = 0; c < critical.size(); ++c)
+        dual.raise_beta(critical[c], increments[c]);
+    }
+  }
+  cert.replay_lambda = observed_lambda(problem, dual, rule, active_mask);
+  // Conservativeness: a shard that missed raise propagations can only
+  // report a *smaller* LHS than the replay (every lost increment is
+  // non-negative).  The tolerance absorbs subset-sum float rounding.
+  bool ok = reported_lambda <= cert.replay_lambda + kEps;
+  for (InstanceId i = 0; ok && i < problem.num_instances(); ++i) {
+    const DemandInstance& inst = problem.instance(i);
+    const double replay = dual.lhs(inst, rule.beta_coeff(inst));
+    const double tol = kEps * (1.0 + std::abs(replay));
+    if (reported_lhs[static_cast<std::size_t>(i)] > replay + tol) ok = false;
+  }
+  cert.valid = ok;
+  return cert;
 }
 
 }  // namespace treesched

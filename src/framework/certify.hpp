@@ -7,8 +7,10 @@
 // certified bound wherever exact optima are out of reach.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "decomp/layered.hpp"
 #include "framework/dual_state.hpp"
 #include "framework/raise_rule.hpp"
 #include "model/problem.hpp"
@@ -26,5 +28,31 @@ double observed_lambda(const Problem& problem, const DualState& dual,
 bool all_satisfied(const Problem& problem, const DualState& dual,
                    const RaiseRule& rule, const std::vector<char>& active_mask,
                    double level);
+
+// Degraded-mode certificate validation (wire protocol over a lossy
+// transport).  Under message loss a processor's shard can miss incoming
+// raise propagations, so its reported LHS — and hence the pass's
+// reported lambda — can only *undercount* the true dual assignment: the
+// raises actually applied are exactly (stack, amounts), and every
+// increment is non-negative.  This helper replays the logged raise
+// amounts into a central DualState (the ground-truth dual vector the
+// degraded run really produced) and checks the shard-reported values
+// are conservative:
+//   reported_lhs[i] <= replay_lhs[i] + tol   for every instance, and
+//   reported_lambda <= replay lambda over active + tol.
+// When that holds, scaling the true dual by 1/reported_lambda is still
+// feasible (reported_lambda <= true lambda), so the degraded run's
+// certified bound remains a valid upper bound on OPT by weak duality —
+// the degraded-mode contract.
+struct ShardCertificate {
+  bool valid = false;
+  double replay_lambda = 1.0;  // lambda of the central replay
+};
+ShardCertificate validate_shard_certificate(
+    const Problem& problem, const LayeredPlan& plan, const RaiseRule& rule,
+    const std::vector<std::vector<InstanceId>>& stack,
+    const std::vector<std::vector<double>>& amounts,
+    std::span<const double> reported_lhs, double reported_lambda,
+    const std::vector<char>& active_mask);
 
 }  // namespace treesched

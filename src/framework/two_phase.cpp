@@ -77,6 +77,7 @@ void SolveStats::merge(const SolveStats& other) {
   lockstep_ok = lockstep_ok && other.lockstep_ok;
   mis_ok = mis_ok && other.mis_ok;
   mis_failed_steps += other.mis_failed_steps;
+  mis_retries += other.mis_retries;
   epoch_setup_ns += other.epoch_setup_ns;
   forest_build_ns += other.forest_build_ns;
   merge_ns += other.merge_ns;
@@ -322,6 +323,7 @@ void TwoPhaseEngine::run_central(const StageSchedule& sched,
         ++steps_this_stage;
         stats.mis_rounds += mis.rounds;
         stats.comm_rounds += mis.rounds + 1;  // +1: dual propagation
+        stats.mis_retries += mis.retries;
         if (mis.selected.empty()) {
           // A budgeted randomized oracle can fail to decide anyone.
           // Mirror the protocol: the step's rounds are spent in silence.
@@ -634,6 +636,7 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
         ++steps_this_stage;
         stats.mis_rounds += mis.rounds;
         stats.comm_rounds += mis.rounds + 1;  // +1: dual propagation
+        stats.mis_retries += mis.retries;
         if (mis.selected.empty()) {
           stats.mis_ok = false;
           ++stats.mis_failed_steps;
@@ -859,6 +862,7 @@ void TwoPhaseEngine::run_component(EpochComponent& comp,
       if (mis.selected.empty()) {
         comp.mis_failed = true;
         comp.step_rounds.push_back(mis.rounds);
+        comp.step_retries.push_back(mis.retries);
         comp.step_begin.push_back(static_cast<int>(comp.rank_log.size()));
         if (!config_.lockstep) {
           comp.ended_short = true;
@@ -888,6 +892,7 @@ void TwoPhaseEngine::run_component(EpochComponent& comp,
       // a rank sort.
       std::sort(selected.begin(), selected.end());
       comp.step_rounds.push_back(mis.rounds);
+      comp.step_retries.push_back(mis.retries);
       for (const auto& [rank, delta] : selected) {
         comp.rank_log.push_back(rank);
         comp.delta_log.push_back(delta);
@@ -936,6 +941,7 @@ void TwoPhaseEngine::merge_components(
     for (int t = 0; t < stage_steps && !stage_broken; ++t) {
       merge_row_.clear();
       int rounds_t = 0;
+      int retries_t = 0;
       bool any_component = false;
       for (const EpochComponent& comp : comps) {
         if (t >= comp.steps_in_stage(j - 1)) continue;
@@ -943,6 +949,10 @@ void TwoPhaseEngine::merge_components(
         const auto s = static_cast<std::size_t>(
             comp.stage_begin[static_cast<std::size_t>(j - 1)] + t);
         rounds_t = std::max(rounds_t, comp.step_rounds[s]);
+        // Like the rounds: concurrent components share the step's retry
+        // attempts, and a serial whole-frontier run retries exactly as
+        // long as its worst component — max, not sum.
+        retries_t = std::max(retries_t, comp.step_retries[s]);
         for (int k = comp.step_begin[s]; k < comp.step_begin[s + 1]; ++k)
           merge_row_.emplace_back(comp.rank_log[static_cast<std::size_t>(k)],
                                   comp.delta_log[static_cast<std::size_t>(k)]);
@@ -962,6 +972,7 @@ void TwoPhaseEngine::merge_components(
       // synchronous rounds.
       stats.mis_rounds += rounds_t;
       stats.comm_rounds += rounds_t + 1;
+      stats.mis_retries += retries_t;
       if (merge_row_.empty()) {
         // Every live component's MIS came back empty this step: the
         // union U's step failed exactly as a serial empty step would.

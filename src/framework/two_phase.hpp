@@ -57,6 +57,10 @@ namespace treesched {
 struct MisResult {
   std::vector<InstanceId> selected;
   int rounds = 1;  // communication rounds consumed by this MIS computation
+  // Adaptive budget retries this computation needed (0 for oracles
+  // without a retry notion).  Extra rounds the retries consumed are
+  // already included in `rounds`.
+  int retries = 0;
 };
 
 // Stream key of one parallel-epoch component: the epoch (group) and the
@@ -233,6 +237,13 @@ struct SolveStats {
   // is empty — identically on the central, serial, and parallel-merge
   // paths, so the parity suites compare it with ==.
   std::int64_t mis_failed_steps = 0;
+  // Adaptive MIS budget retries (MisResult::retries summed over steps).
+  // On the parallel path a step's retry count is the max over its
+  // components — a whole-frontier serial run enters attempt a exactly
+  // when its worst component does, because the Luby dynamics decompose
+  // across conflict-disjoint components — so this, too, compares with
+  // == across central/serial/parallel.
+  std::int64_t mis_retries = 0;
 
   // Wall-clock breakdown of the parallel epoch path (all zero on the
   // serial and central paths).  Timing, not semantics: every field the
@@ -312,6 +323,7 @@ class TwoPhaseEngine {
     std::vector<int> stage_begin;      // size stages + 1
     std::vector<int> step_begin;       // size total steps + 1
     std::vector<int> step_rounds;      // per step
+    std::vector<int> step_retries;     // per step, parallel to step_rounds
     std::vector<int> rank_log;         // raised ranks, ascending per step
     std::vector<double> delta_log;     // parallel to rank_log
     bool mis_failed = false;    // oracle returned empty on a non-empty pool
@@ -329,6 +341,7 @@ class TwoPhaseEngine {
       stage_begin.push_back(0);
       step_begin.assign(1, 0);
       step_rounds.clear();
+      step_retries.clear();
       rank_log.clear();
       delta_log.clear();
       mis_failed = false;

@@ -60,6 +60,7 @@ void expect_identical(const SolveResult& ref, const SolveResult& got,
   EXPECT_EQ(ref.stats.mis_ok, got.stats.mis_ok) << what;
   EXPECT_EQ(ref.stats.interference_ok, got.stats.interference_ok) << what;
   EXPECT_EQ(ref.stats.mis_failed_steps, got.stats.mis_failed_steps) << what;
+  EXPECT_EQ(ref.stats.mis_retries, got.stats.mis_retries) << what;
 }
 
 // Runs the reference engine and the incremental engine (threads = 1 and

@@ -165,8 +165,8 @@ void require_protocol_identity(const Problem& p,
   for (const ProtocolPass& pass : run.passes) {
     ASSERT_EQ(pass.tuples, static_cast<std::int64_t>(pass.epochs) *
                                pass.stages_per_epoch * pass.steps_per_stage);
-    ASSERT_EQ(pass.rounds,
-              pass.tuples * (2 * run.luby_budget + 1) + pass.tuples);
+    ASSERT_EQ(pass.rounds, pass.tuples * (2 * run.luby_budget + 1) +
+                               pass.tuples + pass.mis_retry_rounds);
     pass_rounds += pass.rounds;
   }
   ASSERT_EQ(run.combine_rounds,
@@ -275,7 +275,11 @@ TEST(Fuzz, AdversarialFrontierShrinkAgreesAcrossAllEnginePaths) {
   // different rates, so late steps see mostly-finished epochs).  The
   // oracle's randomness is addressed per instance, so every engine path
   // — central, incremental serial, parallel with the forest, parallel
-  // with the legacy recompute — must still agree bit for bit.
+  // with the legacy recompute — must still agree bit for bit.  The weak
+  // budget also starves steps constantly, so the adaptive budget retry
+  // fires throughout — mis_retries must agree across the paths too (the
+  // parallel merge takes the per-component max per step).
+  std::int64_t total_retries = 0;
   for (int round = 0; round < 4; ++round) {
     const auto seed = 1100 + static_cast<std::uint64_t>(round);
     const Problem p = testutil::small_tree_problem(
@@ -292,6 +296,7 @@ TEST(Fuzz, AdversarialFrontierShrinkAgreesAcrossAllEnginePaths) {
     ProtocolLubyMis central_oracle(p, seed, /*luby_budget=*/1);
     const SolveResult ref = solve_with_plan(p, plan, config, &central_oracle);
     require_feasible(p, ref.solution);
+    total_retries += ref.stats.mis_retries;
     for (const int threads : {1, 4}) {
       for (const bool forest : {true, false}) {
         SolverConfig incremental = config;
@@ -315,9 +320,12 @@ TEST(Fuzz, AdversarialFrontierShrinkAgreesAcrossAllEnginePaths) {
             << what;
         ASSERT_EQ(ref.stats.lockstep_ok, got.stats.lockstep_ok) << what;
         ASSERT_EQ(ref.stats.mis_ok, got.stats.mis_ok) << what;
+        ASSERT_EQ(ref.stats.mis_retries, got.stats.mis_retries) << what;
       }
     }
   }
+  // The budget-1 oracle must actually have exercised the retry path.
+  EXPECT_GT(total_retries, 0);
 }
 
 TEST(Fuzz, MessageCodecRoundTripsRandomStreams) {
@@ -463,6 +471,168 @@ TEST(Fuzz, ProtocolTransportInvarianceOnRandomInstances) {
       ASSERT_EQ(got.codec_decoded, got.messages) << what;
     }
   }
+}
+
+// Field-by-field == comparison of two protocol runs (the masked-fault
+// bit-identity contract: results AND logical counters).
+void require_same_protocol_run(const ProtocolRunResult& ref,
+                               const ProtocolRunResult& got,
+                               const std::string& what) {
+  ASSERT_EQ(got.solution.selected, ref.solution.selected) << what;
+  ASSERT_EQ(got.raise_stack, ref.raise_stack) << what;
+  ASSERT_EQ(got.lambda_observed, ref.lambda_observed) << what;
+  ASSERT_EQ(got.rounds, ref.rounds) << what;
+  ASSERT_EQ(got.messages, ref.messages) << what;
+  ASSERT_EQ(got.bytes, ref.bytes) << what;
+  ASSERT_EQ(got.mis_retries, ref.mis_retries) << what;
+  ASSERT_EQ(got.passes.size(), ref.passes.size()) << what;
+  for (std::size_t i = 0; i < ref.passes.size(); ++i) {
+    ASSERT_EQ(got.passes[i].final_lhs, ref.passes[i].final_lhs) << what;
+    ASSERT_EQ(got.passes[i].lambda_observed, ref.passes[i].lambda_observed)
+        << what;
+  }
+}
+
+// Shared scenario of the fault-injection arms below.
+Problem fault_fuzz_problem(std::uint64_t seed, Rng& rng) {
+  TreeScenarioSpec spec;
+  spec.num_vertices = static_cast<VertexId>(rng.uniform_int(16, 28));
+  spec.num_networks = 2;
+  spec.demands.num_demands = static_cast<int>(rng.uniform_int(8, 12));
+  spec.demands.heights = seed % 2 ? HeightLaw::kBimodal : HeightLaw::kUnit;
+  spec.demands.height_min = 0.4;
+  spec.demands.profit_max = rng.uniform(10.0, 60.0);
+  spec.seed = seed;
+  return make_tree_problem(spec);
+}
+
+TEST(Fuzz, MaskedFaultPlansAreBitIdenticalToFaultFreeRuns) {
+  // Random fault plans at rates the retransmit budget masks w.h.p.
+  // (loss needs budget+1 consecutive bad dice per frame): the kFaulty
+  // recovery layer — CRC-checked, sequence-numbered frames, dedup,
+  // manifest-ordered reassembly, in-barrier retransmit — must reproduce
+  // the fault-free run bit for bit: selection, stacks, per-instance
+  // final LHS, lambda, and every logical counter (rounds/messages/bytes
+  // are charged at post(), before the fault dice roll).
+  Rng rng(413);
+  std::int64_t total_recoveries = 0;
+  for (int round = 0; round < 4; ++round) {
+    const auto seed = 1300 + static_cast<std::uint64_t>(round);
+    const Problem p = fault_fuzz_problem(seed, rng);
+    const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+    ProtocolOptions options;
+    options.epsilon = 0.35;
+    options.seed = seed;
+    options.keep_stack = true;
+    options.transport = TransportKind::kSerialized;
+    const ProtocolRunResult ref = run_height_split_protocol(p, plan, options);
+
+    options.faults.drop = rng.uniform(0.0, 0.15);
+    options.faults.duplicate = rng.uniform(0.0, 0.10);
+    options.faults.corrupt = rng.uniform(0.0, 0.05);
+    options.faults.reorder = rng.uniform(0.0, 0.30);
+    options.faults.delay = rng.uniform(0.0, 0.10);
+    options.faults.retransmit_budget = 16;
+    options.faults.seed = seed;
+    const ProtocolRunResult got = run_height_split_protocol(p, plan, options);
+    const std::string what = "round " + std::to_string(round);
+    ASSERT_FALSE(got.degraded) << what;
+    ASSERT_TRUE(got.certificate_ok) << what;
+    require_same_protocol_run(ref, got, what);
+    ASSERT_EQ(got.fault.frames_lost, 0) << what;
+    ASSERT_EQ(got.fault.corrupt_undetected, 0) << what;
+    ASSERT_EQ(got.fault.frames_delivered, got.fault.frames_posted) << what;
+    total_recoveries += got.fault.retransmits + got.fault.dup_dropped +
+                        got.fault.frames_reordered;
+  }
+  // The plans must actually have exercised the recovery machinery.
+  EXPECT_GT(total_recoveries, 0);
+}
+
+TEST(Fuzz, CorruptionIsAlwaysDetectedNeverMisdecoded) {
+  // Corruption-heavy plans: every corrupted frame (1-3 flipped bits,
+  // within CRC-32's Hamming-distance guarantee at our frame sizes) must
+  // be rejected by the checksum and repaired by retransmit — never
+  // silently mis-decoded into a wrong message.
+  Rng rng(414);
+  for (int round = 0; round < 3; ++round) {
+    const auto seed = 1400 + static_cast<std::uint64_t>(round);
+    const Problem p = fault_fuzz_problem(seed, rng);
+    const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+    ProtocolOptions options;
+    options.epsilon = 0.35;
+    options.seed = seed;
+    options.keep_stack = true;
+    options.transport = TransportKind::kSerialized;
+    const ProtocolRunResult ref = run_height_split_protocol(p, plan, options);
+
+    options.faults.corrupt = 0.2;
+    options.faults.retransmit_budget = 16;
+    options.faults.seed = seed;
+    const ProtocolRunResult got = run_height_split_protocol(p, plan, options);
+    const std::string what = "round " + std::to_string(round);
+    ASSERT_GT(got.fault.frames_corrupted, 0) << what;
+    ASSERT_GT(got.fault.corrupt_dropped, 0) << what;
+    ASSERT_EQ(got.fault.corrupt_undetected, 0) << what;
+    ASSERT_EQ(got.fault.frames_delivered + got.fault.frames_lost,
+              got.fault.frames_posted)
+        << what;
+    ASSERT_FALSE(got.degraded) << what;  // 0.2^17 per frame: never lost
+    require_same_protocol_run(ref, got, what);
+  }
+}
+
+TEST(Fuzz, RetransmitExhaustionDegradesGracefullyWithValidCertificate) {
+  // Unmaskable plans — total blackout and coin-flip loss against a
+  // budget of 1: the run must never crash, hang, or report a silently
+  // wrong answer.  Either the plan happened to be masked (bit-identical
+  // to fault-free) or the run is flagged degraded, its solution is still
+  // primal-feasible (phase-2 prune) and its shard-reported certificate
+  // validates against the central replay of the applied raises.
+  Rng rng(415);
+  bool saw_degraded = false;
+  for (int round = 0; round < 4; ++round) {
+    const auto seed = 1500 + static_cast<std::uint64_t>(round);
+    const Problem p = fault_fuzz_problem(seed, rng);
+    const LayeredPlan plan = build_tree_layered_plan(p, DecompKind::kIdeal);
+    ProtocolOptions options;
+    options.epsilon = 0.35;
+    options.seed = seed;
+    options.transport = TransportKind::kSerialized;
+    const ProtocolRunResult ref = run_height_split_protocol(p, plan, options);
+
+    if (round == 0) {
+      options.faults.drop = 1.0;  // total blackout
+      options.faults.retransmit_budget = 2;
+    } else {
+      options.faults.drop = 0.5;
+      options.faults.retransmit_budget = 1;
+      options.faults.seed = seed;
+    }
+    const ProtocolRunResult got = run_height_split_protocol(p, plan, options);
+    const std::string what = "round " + std::to_string(round);
+    require_feasible(p, got.solution);
+    ASSERT_EQ(got.fault.frames_delivered + got.fault.frames_lost,
+              got.fault.frames_posted)
+        << what;
+    if (got.degraded) {
+      saw_degraded = true;
+      ASSERT_GT(got.fault.frames_lost, 0) << what;
+      ASSERT_TRUE(got.certificate_ok) << what;
+      // The reported lambda stays a *conservative* slackness claim.
+      for (const ProtocolPass& pass : got.passes)
+        ASSERT_TRUE(pass.certificate_ok) << what;
+    } else {
+      ASSERT_EQ(got.solution.selected, ref.solution.selected) << what;
+      ASSERT_EQ(got.lambda_observed, ref.lambda_observed) << what;
+    }
+    if (round == 0) {
+      ASSERT_TRUE(got.degraded) << what;
+      ASSERT_EQ(got.fault.frames_delivered, 0) << what;
+      ASSERT_EQ(got.fault.frames_lost, got.fault.frames_posted) << what;
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
 }
 
 TEST(Fuzz, ExactSolverOnDenseConflicts) {

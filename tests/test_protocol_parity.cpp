@@ -48,8 +48,13 @@ using testutil::small_line_problem;
 using testutil::small_tree_problem;
 
 bool uses_codec(TransportKind kind) {
+  // kFaulty frames every message through the checksummed codec; on a
+  // masked run (the only kind the environment hook produces here — the
+  // suites below hold it to bit-identity) its frame-codec counters
+  // equal the message counters exactly like the plain serialized wires.
   return kind == TransportKind::kSerialized ||
-         kind == TransportKind::kThreadedSerialized;
+         kind == TransportKind::kThreadedSerialized ||
+         kind == TransportKind::kFaulty;
 }
 
 // The transport axis of the parity suite: reruns a protocol on each
@@ -159,8 +164,8 @@ void expect_round_identity(const Problem& p, const ProtocolRunResult& run,
     EXPECT_EQ(pass.tuples, static_cast<std::int64_t>(pass.epochs) *
                                pass.stages_per_epoch * pass.steps_per_stage)
         << what;
-    EXPECT_EQ(pass.rounds,
-              pass.tuples * (2 * run.luby_budget + 1) + pass.tuples)
+    EXPECT_EQ(pass.rounds, pass.tuples * (2 * run.luby_budget + 1) +
+                               pass.tuples + pass.mis_retry_rounds)
         << what;
     pass_rounds += pass.rounds;
   }
@@ -187,6 +192,7 @@ void expect_pass_matches(const ProtocolPass& pass, const SolveResult& got,
   EXPECT_EQ(pass.delta, got.stats.delta) << what;
   EXPECT_EQ(pass.xi, got.stats.xi) << what;
   EXPECT_EQ(pass.stages_per_epoch, got.stats.stages_per_epoch) << what;
+  EXPECT_EQ(pass.mis_retries, got.stats.mis_retries) << what;
 }
 
 // Single-pass parity: run_distributed_protocol under options.rule vs the

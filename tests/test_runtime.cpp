@@ -284,11 +284,13 @@ TEST(Transport, KindNamesParseAndResolve) {
             TransportKind::kThreadedSerialized);
   EXPECT_EQ(parse_transport_kind("threaded-serialized"),
             TransportKind::kThreadedSerialized);
+  EXPECT_EQ(parse_transport_kind("faulty"), TransportKind::kFaulty);
   EXPECT_THROW(parse_transport_kind("carrier-pigeon"), std::invalid_argument);
   // Non-default kinds pass through the resolver untouched.
   for (TransportKind kind : kAllTransports)
     EXPECT_EQ(resolve_transport_kind(kind), kind);
   EXPECT_EQ(std::string(to_string(TransportKind::kSerialized)), "serialized");
+  EXPECT_EQ(std::string(to_string(TransportKind::kFaulty)), "faulty");
 }
 
 // --- The message codec -----------------------------------------------------
@@ -363,6 +365,229 @@ TEST(Codec, CorruptHeadersAreRejected) {
   EXPECT_FALSE(corrupt_field(3, 1 << 20));
   // A negative tag is legal — tags are opaque.
   EXPECT_TRUE(corrupt_field(2, -3));
+}
+
+// --- The fault-injection backend -------------------------------------------
+
+TEST(Faulty, ParseFaultPlanAcceptsSpecsAndRejectsGarbage) {
+  const FaultPlan plan = parse_fault_plan(
+      "drop=0.05,dup=0.02,corrupt=0.01,reorder=0.1,delay=0.05,maxdelay=3,"
+      "budget=4,seed=7,inner=threaded");
+  EXPECT_DOUBLE_EQ(plan.drop, 0.05);
+  EXPECT_DOUBLE_EQ(plan.duplicate, 0.02);
+  EXPECT_DOUBLE_EQ(plan.corrupt, 0.01);
+  EXPECT_DOUBLE_EQ(plan.reorder, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay, 0.05);
+  EXPECT_EQ(plan.max_delay_rounds, 3);
+  EXPECT_EQ(plan.retransmit_budget, 4);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_EQ(plan.inner, TransportKind::kThreadedSerialized);
+  EXPECT_TRUE(plan.any());
+  EXPECT_FALSE(parse_fault_plan("").any());
+  // "duplicate" and "retransmit" are accepted aliases.
+  EXPECT_DOUBLE_EQ(parse_fault_plan("duplicate=0.5").duplicate, 0.5);
+  EXPECT_EQ(parse_fault_plan("retransmit=3").retransmit_budget, 3);
+  EXPECT_THROW(parse_fault_plan("drop=2.0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("drop=pigeons"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("gremlins=0.5"), std::invalid_argument);
+  // Outcome rates are mutually exclusive slices of one draw: must sum <= 1.
+  EXPECT_THROW(parse_fault_plan("drop=0.6,dup=0.6"), std::invalid_argument);
+}
+
+TEST(Faulty, FrameCodecRoundTripsAndDetectsEverySingleBitFlip) {
+  const Message m{3, 7, 42, {1.5, -0.0, 1e300}};
+  std::vector<std::uint8_t> wire;
+  const std::size_t len = encode_frame(m, 9, wire);
+  EXPECT_EQ(len, wire.size());
+  EXPECT_EQ(len, 8u + static_cast<std::size_t>(message_wire_bytes(m)));
+  std::size_t offset = 0;
+  std::uint32_t seq = 0;
+  Message out;
+  std::string error;
+  ASSERT_TRUE(decode_frame({wire.data(), wire.size()}, offset, seq, out,
+                           &error))
+      << error;
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_EQ(seq, 9u);
+  EXPECT_EQ(out.from, 3);
+  EXPECT_EQ(out.to, 7);
+  EXPECT_EQ(out.tag, 42);
+  ASSERT_EQ(out.data.size(), m.data.size());
+  EXPECT_EQ(std::memcmp(out.data.data(), m.data.data(),
+                        m.data.size() * sizeof(double)),
+            0);
+  // Every single-bit flip anywhere in the frame — checksum, sequence
+  // number, header, payload — is rejected, with the offset untouched.
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::vector<std::uint8_t> bad = wire;
+    bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    offset = 0;
+    EXPECT_FALSE(decode_frame({bad.data(), bad.size()}, offset, seq, out))
+        << "bit " << bit;
+    EXPECT_EQ(offset, 0u) << "bit " << bit;
+  }
+  // Every proper prefix is truncation, rejected cleanly.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    offset = 0;
+    EXPECT_FALSE(decode_frame({wire.data(), cut}, offset, seq, out))
+        << "prefix " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+// A deterministic scripted exchange on a faulty runtime: every node
+// posts to every other for `rounds` rounds, draining at each boundary.
+struct FaultyRun {
+  FaultStats stats;
+  bool degraded = false;
+  std::vector<Message> delivered;  // all inboxes, in drain order
+};
+FaultyRun scripted_faulty_run(const FaultPlan& plan, int rounds) {
+  const int n = 4;
+  Runtime rt(n, TransportKind::kFaulty, &plan);
+  EXPECT_EQ(rt.transport_kind(), TransportKind::kFaulty);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) rt.connect(a, b);
+  FaultyRun run;
+  int tag = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (int a = 0; a < n; ++a)
+      for (int b = 0; b < n; ++b)
+        if (a != b)
+          rt.post(Message{a, b, tag++, {static_cast<double>(r), 1.0 * a}});
+    rt.step();
+    for (int v = 0; v < n; ++v) {
+      std::vector<Message> inbox = rt.drain(v);
+      run.delivered.insert(run.delivered.end(), inbox.begin(), inbox.end());
+      rt.recycle(std::move(inbox));
+    }
+  }
+  const FaultStats* stats = rt.fault_stats();
+  EXPECT_NE(stats, nullptr);
+  if (stats != nullptr) run.stats = *stats;
+  run.degraded = rt.degraded();
+  return run;
+}
+
+bool same_messages(const std::vector<Message>& a,
+                   const std::vector<Message>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].from != b[i].from || a[i].to != b[i].to ||
+        a[i].tag != b[i].tag || a[i].data != b[i].data)
+      return false;
+  }
+  return true;
+}
+
+TEST(Faulty, SeededPlansReplayDeterministically) {
+  FaultPlan plan;
+  plan.drop = 0.2;
+  plan.duplicate = 0.1;
+  plan.corrupt = 0.1;
+  plan.reorder = 0.2;
+  plan.delay = 0.1;
+  plan.seed = 42;
+  const FaultyRun first = scripted_faulty_run(plan, 8);
+  const FaultyRun second = scripted_faulty_run(plan, 8);
+  // Same seed, same script: identical fault decisions, counters, and
+  // delivered streams — the whole point of hash-addressed fault dice.
+  EXPECT_EQ(first.stats.frames_posted, second.stats.frames_posted);
+  EXPECT_EQ(first.stats.frames_dropped, second.stats.frames_dropped);
+  EXPECT_EQ(first.stats.frames_duplicated, second.stats.frames_duplicated);
+  EXPECT_EQ(first.stats.frames_corrupted, second.stats.frames_corrupted);
+  EXPECT_EQ(first.stats.frames_delayed, second.stats.frames_delayed);
+  EXPECT_EQ(first.stats.frames_reordered, second.stats.frames_reordered);
+  EXPECT_EQ(first.stats.retransmits, second.stats.retransmits);
+  EXPECT_EQ(first.stats.dup_dropped, second.stats.dup_dropped);
+  EXPECT_EQ(first.stats.corrupt_dropped, second.stats.corrupt_dropped);
+  EXPECT_EQ(first.stats.frames_lost, second.stats.frames_lost);
+  EXPECT_TRUE(same_messages(first.delivered, second.delivered));
+  // The plan actually fired, was fully masked, and nothing mis-decoded.
+  EXPECT_GT(first.stats.retransmits, 0);
+  EXPECT_EQ(first.stats.frames_lost, 0);
+  EXPECT_EQ(first.stats.corrupt_undetected, 0);
+  EXPECT_EQ(first.stats.frames_delivered, first.stats.frames_posted);
+  EXPECT_FALSE(first.degraded);
+  // And masked means: delivered exactly the fault-free stream.
+  const FaultyRun clean = scripted_faulty_run(FaultPlan{}, 8);
+  EXPECT_TRUE(same_messages(first.delivered, clean.delivered));
+}
+
+TEST(Faulty, CounterClosedForms) {
+  // Duplication-only: the extra copy always arrives and is always
+  // deduped by sequence number — dup_dropped == frames_duplicated, no
+  // retransmit ever needed, everything delivered exactly once.
+  FaultPlan dup_only;
+  dup_only.duplicate = 1.0;
+  const FaultyRun dup = scripted_faulty_run(dup_only, 5);
+  EXPECT_EQ(dup.stats.frames_duplicated, dup.stats.frames_posted);
+  EXPECT_EQ(dup.stats.dup_dropped, dup.stats.frames_duplicated);
+  EXPECT_EQ(dup.stats.retransmits, 0);
+  EXPECT_EQ(dup.stats.frames_delivered, dup.stats.frames_posted);
+  EXPECT_EQ(dup.stats.frames_lost, 0);
+  EXPECT_FALSE(dup.degraded);
+  EXPECT_TRUE(same_messages(dup.delivered,
+                            scripted_faulty_run(FaultPlan{}, 5).delivered));
+
+  // Total blackout against budget b: every frame costs exactly b
+  // retransmit attempts, then is declared lost; nothing is delivered and
+  // the runtime is degraded.
+  FaultPlan blackout;
+  blackout.drop = 1.0;
+  blackout.retransmit_budget = 3;
+  const FaultyRun lost = scripted_faulty_run(blackout, 4);
+  EXPECT_EQ(lost.stats.retransmits, lost.stats.frames_posted * 3);
+  EXPECT_EQ(lost.stats.frames_lost, lost.stats.frames_posted);
+  EXPECT_EQ(lost.stats.frames_delivered, 0);
+  EXPECT_TRUE(lost.delivered.empty());
+  EXPECT_TRUE(lost.degraded);
+
+  // Conservation holds on every plan: delivered + lost == posted.
+  for (const FaultyRun* run : {&dup, &lost})
+    EXPECT_EQ(run->stats.frames_delivered + run->stats.frames_lost,
+              run->stats.frames_posted);
+
+  // Concrete fault-free backends expose no fault surface at all.
+  for (TransportKind kind : kAllTransports) {
+    Runtime rt(2, kind);
+    EXPECT_EQ(rt.fault_stats(), nullptr);
+    EXPECT_FALSE(rt.degraded());
+  }
+}
+
+TEST(Faulty, RecoveryPathReusesRecycledBuffers) {
+  // The free-list contract survives the recovery layer: a steady
+  // drain/recycle loop under constant drop-and-retransmit hands back the
+  // warm buffers — the retransmit machinery allocates nothing per round
+  // once the manifests are warm.
+  FaultPlan plan;
+  plan.drop = 0.4;
+  plan.seed = 9;
+  Runtime rt(2, TransportKind::kFaulty, &plan);
+  rt.connect(0, 1);
+  const Message* slots[2] = {nullptr, nullptr};
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    rt.post(Message{0, 1, cycle, {1.0, 2.0, 3.0}});
+    rt.step();
+    std::vector<Message> inbox = rt.drain(1);
+    ASSERT_EQ(inbox.size(), 1u);
+    slots[cycle] = inbox.data();
+    rt.recycle(std::move(inbox));
+  }
+  for (int cycle = 2; cycle < 8; ++cycle) {
+    rt.post(Message{0, 1, cycle, {9.0, 8.0, 7.0}});
+    rt.step();
+    std::vector<Message> inbox = rt.drain(1);
+    ASSERT_EQ(inbox.size(), 1u);
+    EXPECT_TRUE(inbox.data() == slots[0] || inbox.data() == slots[1])
+        << "cycle " << cycle;
+    EXPECT_EQ(inbox[0].tag, cycle);
+    rt.recycle(std::move(inbox));
+  }
+  ASSERT_NE(rt.fault_stats(), nullptr);
+  EXPECT_GT(rt.fault_stats()->retransmits, 0);  // recovery really ran
+  EXPECT_EQ(rt.fault_stats()->frames_lost, 0);
 }
 
 TEST(ConflictGraphs, AdjacencyMatchesConflictPredicate) {

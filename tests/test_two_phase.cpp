@@ -259,7 +259,7 @@ TEST(TwoPhase, StatsMergeCoversEveryField) {
   // The static_assert trips whenever the struct grows or shrinks; when
   // it fires, extend merge(), then teach THIS test the new field's merge
   // semantics, then update the expected size.
-  static_assert(sizeof(SolveStats) == 152,
+  static_assert(sizeof(SolveStats) == 160,
                 "SolveStats changed size: update SolveStats::merge and "
                 "TwoPhase.StatsMergeCoversEveryField");
 
@@ -304,6 +304,8 @@ TEST(TwoPhase, StatsMergeCoversEveryField) {
   b.mis_ok = false;
   a.mis_failed_steps = 31;
   b.mis_failed_steps = 32;
+  a.mis_retries = 39;
+  b.mis_retries = 40;
   a.epoch_setup_ns = 33;
   b.epoch_setup_ns = 34;
   a.forest_build_ns = 35;
@@ -334,6 +336,7 @@ TEST(TwoPhase, StatsMergeCoversEveryField) {
   EXPECT_FALSE(a.lockstep_ok);      // AND
   EXPECT_FALSE(a.mis_ok);           // AND
   EXPECT_EQ(a.mis_failed_steps, 63);
+  EXPECT_EQ(a.mis_retries, 79);
   EXPECT_EQ(a.epoch_setup_ns, 67);
   EXPECT_EQ(a.forest_build_ns, 71);
   EXPECT_EQ(a.merge_ns, 75);

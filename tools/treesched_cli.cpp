@@ -13,6 +13,7 @@
 //                 [--decomp=ideal|balancing|rootfix] [--out=sol.txt]
 //                 [--trace=trace.json]
 //                 [--transport=inproc|serialized|threaded]
+//                 [--faults=drop=0.05,dup=0.02,corrupt=0.01,seed=1]
 //
 // --algo=protocol runs the matching theorem as the *message-level*
 // protocol (dist/protocol_scheduler) instead of the modeled engine, and
@@ -20,6 +21,11 @@
 // unset, the TREESCHED_TRANSPORT environment hook decides.  On the
 // serialized backends the reported bytes are real serialized sizes and
 // the codec counters show every message crossing the wire format.
+// --faults wraps the backend in the kFaulty recovery layer (see
+// parse_fault_plan in dist/transport.hpp for the full key set) and
+// prints the fault/retransmit/dedup/corruption counters plus the
+// degraded flag after the run; unset, the TREESCHED_FAULTS environment
+// hook decides.
 //
 // Files produced by gen-* are the versioned text formats of io/text_io;
 // `solve` auto-detects tree vs line files by their header.  --trace
@@ -274,6 +280,8 @@ int cmd_solve(const Args& args) {
     popts.transport = args.has("transport")
                           ? parse_transport_kind(args.get("transport", ""))
                           : TransportKind::kDefault;
+    if (args.has("faults"))
+      popts.faults = parse_fault_plan(args.get("faults", ""));
     const ProtocolDistResult r =
         line ? (problem.unit_height()
                     ? run_line_unit_protocol(problem, popts)
@@ -295,6 +303,30 @@ int cmd_solve(const Args& args) {
       std::printf("codec: %lld encoded, %lld decoded (serialized wire)\n",
                   static_cast<long long>(r.run.codec_encoded),
                   static_cast<long long>(r.run.codec_decoded));
+    if (r.run.transport == TransportKind::kFaulty) {
+      const FaultStats& f = r.run.fault;
+      std::printf("faults: %lld posted, %lld delivered, %lld lost "
+                  "(drop %lld, dup %lld, corrupt %lld, delay %lld, "
+                  "reorder %lld)\n",
+                  static_cast<long long>(f.frames_posted),
+                  static_cast<long long>(f.frames_delivered),
+                  static_cast<long long>(f.frames_lost),
+                  static_cast<long long>(f.frames_dropped),
+                  static_cast<long long>(f.frames_duplicated),
+                  static_cast<long long>(f.frames_corrupted),
+                  static_cast<long long>(f.frames_delayed),
+                  static_cast<long long>(f.frames_reordered));
+      std::printf("recovery: %lld retransmits, %lld deduped, %lld "
+                  "crc-rejected, %lld undetected; mis retries %lld\n",
+                  static_cast<long long>(f.retransmits),
+                  static_cast<long long>(f.dup_dropped),
+                  static_cast<long long>(f.corrupt_dropped),
+                  static_cast<long long>(f.corrupt_undetected),
+                  static_cast<long long>(r.run.mis_retries));
+      std::printf("degraded: %s  certificate_ok: %s\n",
+                  r.run.degraded ? "yes" : "no",
+                  r.run.certificate_ok ? "yes" : "no");
+    }
     report(problem, r.run.solution, r.ratio_bound, SolveStats{}, args);
     return 0;
   }
