@@ -1,0 +1,221 @@
+// T7 — the online scheduling service under steady churn: incremental
+// warm-start re-solve vs cold re-solve per batch.
+//
+// The service replays a seeded arrival/departure trace through the
+// OnlineScheduler twice — once in kWarm mode (only the conflict
+// components a batch touches are re-solved; untouched components are
+// served from the per-component caches) and once in kCold mode (every
+// batch re-solves every live component) — over identical traces, and
+// reports the sustained events/sec of each arm plus the warm arm's
+// touched-component ratio.  Before any timing is trusted, the warm
+// arm's assembled artifacts are held to exact equality against the
+// from-scratch reference (solve_cold) at the end of the replay; a
+// mismatch aborts the bench.
+//
+// Gate: the touched ratio is deterministic (seeded trace, deterministic
+// component structure) and committed under the perf-trajectory gate — a
+// rising ratio means the warm path is re-solving components it used to
+// skip.  The wall-clock speedup is informational for the trajectory
+// tool, but the binary itself exits nonzero unless the warm arm
+// sustains >= 2x the cold arm's throughput on every scenario, which is
+// what CI enforces.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "online/event_stream.hpp"
+#include "online/online_scheduler.hpp"
+#include "workload/scenario.hpp"
+
+using namespace treesched;
+using namespace treesched::benchutil;
+
+namespace {
+
+struct ChurnScenario {
+  int id = 0;
+  const char* name = "";
+  VertexId num_vertices = 1024;
+  int num_networks = 2;
+  int residents = 420;  // demands in the base problem (never depart)
+  ArrivalLaw arrivals = ArrivalLaw::kPoisson;
+  double rate = 6.0;
+  int num_batches = 12;
+  double mean_lifetime = 2.0;
+  HeightLaw heights = HeightLaw::kBimodal;
+  std::uint64_t seed = 1;
+};
+
+struct ArmResult {
+  double ms = 0.0;
+  std::int64_t events = 0;
+  std::int64_t touched_components = 0;
+  std::int64_t total_components = 0;
+  int live_final = 0;
+};
+
+// Local-pair demands keep the conflict graph sparse: many small
+// components, so a batch's events touch a small fraction of them.
+DemandGenConfig demand_config(const ChurnScenario& s) {
+  DemandGenConfig cfg;
+  cfg.endpoints = EndpointLaw::kLocalPair;
+  cfg.locality = 2;
+  cfg.heights = s.heights;
+  cfg.profit_max = 64.0;
+  return cfg;
+}
+
+Problem make_base(const ChurnScenario& s) {
+  TreeScenarioSpec spec;
+  spec.num_vertices = s.num_vertices;
+  spec.num_networks = s.num_networks;
+  // Identical copies of the tree: local-pair endpoints then stay local
+  // on EVERY network.  With independent random trees the second
+  // network's paths are long, the conflict graph percolates into one
+  // giant component, and the warm arm has nothing to skip.
+  spec.identical_networks = true;
+  spec.demands = demand_config(s);
+  spec.demands.num_demands = s.residents;
+  spec.seed = s.seed;
+  return make_tree_problem(spec);
+}
+
+OnlineTrafficSpec traffic_of(const ChurnScenario& s) {
+  OnlineTrafficSpec traffic;
+  traffic.arrivals = s.arrivals;
+  traffic.rate = s.rate;
+  traffic.num_batches = s.num_batches;
+  traffic.seed = s.seed + 100;
+  TenantClass tenant;
+  tenant.mean_lifetime = s.mean_lifetime;
+  traffic.tenants.push_back(tenant);
+  return traffic;
+}
+
+ArmResult replay_once(const Problem& base,
+                      const std::vector<EventBatch>& trace,
+                      OnlineSolveMode mode) {
+  OnlineConfig config;
+  config.mode = mode;
+  OnlineScheduler scheduler(base, config);
+  ArmResult arm;
+  for (const EventBatch& batch : trace) {
+    const OnlineBatchReport report = scheduler.step(batch);
+    arm.events += report.arrivals + report.departures;
+    arm.ms += static_cast<double>(report.solve_ns) / 1e6;
+    arm.touched_components += report.touched_components;
+    arm.total_components += report.total_components;
+  }
+  arm.live_final = scheduler.live_demands();
+
+  // The warm arm's spliced artifacts must equal the from-scratch
+  // reference exactly before its timing means anything.
+  const OnlineSolveArtifacts assembled = scheduler.assemble();
+  const OnlineSolveArtifacts reference =
+      solve_cold(scheduler.problem(), scheduler.plan(), config.solver,
+                 scheduler.live_mask());
+  if (assembled.solution.selected != reference.solution.selected ||
+      assembled.wide.raise_stack != reference.wide.raise_stack ||
+      assembled.narrow.raise_stack != reference.narrow.raise_stack ||
+      assembled.wide.final_lhs != reference.wide.final_lhs ||
+      assembled.narrow.final_lhs != reference.narrow.final_lhs ||
+      assembled.lambda != reference.lambda) {
+    std::fprintf(stderr,
+                 "BENCH ERROR: warm-start artifacts diverged from the "
+                 "cold reference\n");
+    std::abort();
+  }
+  checked_profit(scheduler.problem(), assembled.solution);
+  return arm;
+}
+
+// Best-of-3: the replay is deterministic in everything but wall clock
+// (counts come out identical across repeats), so the minimum total time
+// is the least-noisy estimate of either arm's cost.
+ArmResult replay(const Problem& base, const std::vector<EventBatch>& trace,
+                 OnlineSolveMode mode) {
+  ArmResult best = replay_once(base, trace, mode);
+  for (int rep = 1; rep < 3; ++rep) {
+    const ArmResult next = replay_once(base, trace, mode);
+    if (next.ms < best.ms) best = next;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  print_claim(
+      "t7_online_churn",
+      "incremental warm-start re-solve sustains >= 2x the cold arm's "
+      "steady-churn throughput by re-solving only touched components");
+
+  std::vector<ChurnScenario> scenarios(3);
+  scenarios[0].id = 0;
+  scenarios[0].name = "poisson-sparse";
+  scenarios[0].seed = 3;
+  scenarios[1].id = 1;
+  scenarios[1].name = "bursty-sparse";
+  scenarios[1].arrivals = ArrivalLaw::kBursty;
+  scenarios[1].rate = 3.0;
+  scenarios[1].seed = 5;
+  scenarios[2].id = 2;
+  scenarios[2].name = "diurnal-narrowheavy";
+  scenarios[2].arrivals = ArrivalLaw::kDiurnal;
+  scenarios[2].heights = HeightLaw::kNarrowOnly;
+  scenarios[2].rate = 2.0;
+  scenarios[2].seed = 7;
+
+  std::vector<JsonRecord> rows;
+  std::printf("%-22s %10s %10s %9s %9s %8s\n", "scenario", "warm ev/s",
+              "cold ev/s", "speedup", "touched%", "events");
+  double min_speedup = 1e30;
+  for (const ChurnScenario& s : scenarios) {
+    const Problem base = make_base(s);
+    const std::vector<EventBatch> trace =
+        make_event_trace(base, demand_config(s), traffic_of(s));
+
+    const ArmResult warm = replay(base, trace, OnlineSolveMode::kWarm);
+    const ArmResult cold = replay(base, trace, OnlineSolveMode::kCold);
+
+    const double warm_per_sec =
+        static_cast<double>(warm.events) / (warm.ms / 1e3);
+    const double cold_per_sec =
+        static_cast<double>(cold.events) / (cold.ms / 1e3);
+    const double speedup = cold.ms / warm.ms;
+    const double touched_ratio =
+        static_cast<double>(warm.touched_components) /
+        static_cast<double>(warm.total_components);
+    if (speedup < min_speedup) min_speedup = speedup;
+
+    std::printf("%-22s %10.0f %10.0f %8.2fx %8.1f%% %8lld\n", s.name,
+                warm_per_sec, cold_per_sec, speedup, 100.0 * touched_ratio,
+                static_cast<long long>(warm.events));
+
+    JsonRecord row;
+    row.emplace_back("scenario", s.id);
+    row.emplace_back("seed", static_cast<double>(s.seed));
+    row.emplace_back("batches", s.num_batches);
+    row.emplace_back("residents", s.residents);
+    row.emplace_back("events", static_cast<double>(warm.events));
+    row.emplace_back("live_final", warm.live_final);
+    row.emplace_back("touched_components",
+                     static_cast<double>(warm.touched_components));
+    row.emplace_back("total_components",
+                     static_cast<double>(warm.total_components));
+    row.emplace_back("touched_ratio", touched_ratio);  // gated
+    row.emplace_back("warm_ms", warm.ms);
+    row.emplace_back("cold_ms", cold.ms);
+    row.emplace_back("warm_events_per_sec", warm_per_sec);
+    row.emplace_back("cold_events_per_sec", cold_per_sec);
+    row.emplace_back("warm_vs_cold_speedup", speedup);
+    rows.push_back(std::move(row));
+  }
+  emit_json("t7_online_churn", rows);
+
+  std::printf("min warm-vs-cold speedup: %.2fx (gate: >= 2.0x)\n",
+              min_speedup);
+  return min_speedup >= 2.0 ? 0 : 1;
+}

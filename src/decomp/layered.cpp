@@ -31,10 +31,13 @@ void add_wings(const TreeNetwork& network,
   TS_REQUIRE(false);  // y must lie on the path
 }
 
-void finalize_plan(const Problem& problem, LayeredPlan& plan) {
-  plan.delta = 0;
-  plan.members.assign(static_cast<std::size_t>(plan.num_groups), {});
-  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
+void finalize_plan(const Problem& problem, LayeredPlan& plan,
+                   InstanceId first = 0) {
+  if (first == 0) {
+    plan.delta = 0;
+    plan.members.assign(static_cast<std::size_t>(plan.num_groups), {});
+  }
+  for (InstanceId i = first; i < problem.num_instances(); ++i) {
     auto& crit = plan.critical[static_cast<std::size_t>(i)];
     std::sort(crit.begin(), crit.end());
     crit.erase(std::unique(crit.begin(), crit.end()), crit.end());
@@ -45,15 +48,37 @@ void finalize_plan(const Problem& problem, LayeredPlan& plan) {
   }
 }
 
+// Fills plan.group[i] / plan.critical[i] for one instance against the
+// per-network decompositions (the Lemma 4.2/4.3 assignment).
+void plan_tree_instance(const Problem& problem,
+                        const std::vector<TreeDecomposition>& decomps,
+                        bool mu_wings_only, InstanceId i,
+                        LayeredPlan& plan) {
+  const DemandInstance& inst = problem.instance(i);
+  const TreeDecomposition& decomp =
+      decomps[static_cast<std::size_t>(inst.network)];
+  const TreeNetwork& network = problem.network(inst.network);
+  const EdgeId offset = problem.global_edge(inst.network, 0);
+
+  const auto pathv = network.path_vertices(inst.u, inst.v);
+  const VertexId mu = decomp.capture(inst.u, inst.v);
+  plan.group[static_cast<std::size_t>(i)] =
+      decomp.max_depth() - decomp.depth(mu);
+
+  auto& crit = plan.critical[static_cast<std::size_t>(i)];
+  add_wings(network, pathv, mu, offset, crit);
+  if (!mu_wings_only) {
+    for (VertexId u : decomp.pivots(mu)) {
+      const VertexId bend = network.median(u, inst.u, inst.v);
+      add_wings(network, pathv, bend, offset, crit);
+    }
+  }
+}
+
 }  // namespace
 
 LayeredPlan build_tree_layered_plan(const Problem& problem, DecompKind kind,
                                     bool mu_wings_only) {
-  TS_REQUIRE(problem.finalized());
-  LayeredPlan plan;
-  plan.group.assign(static_cast<std::size_t>(problem.num_instances()), 0);
-  plan.critical.assign(static_cast<std::size_t>(problem.num_instances()), {});
-
   // One decomposition per network; groups are indexed by capture depth
   // from the bottom (deepest captured = group 0 = raised first), so
   // G_k = union over networks of the k-th group (paper, Section 5).
@@ -61,34 +86,45 @@ LayeredPlan build_tree_layered_plan(const Problem& problem, DecompKind kind,
   decomps.reserve(static_cast<std::size_t>(problem.num_networks()));
   for (NetworkId q = 0; q < problem.num_networks(); ++q)
     decomps.push_back(build_decomposition(problem.network(q), kind));
+  return build_tree_layered_plan(problem, decomps, mu_wings_only);
+}
+
+LayeredPlan build_tree_layered_plan(
+    const Problem& problem, const std::vector<TreeDecomposition>& decomps,
+    bool mu_wings_only) {
+  TS_REQUIRE(problem.finalized());
+  TS_REQUIRE(static_cast<int>(decomps.size()) == problem.num_networks());
+  LayeredPlan plan;
+  plan.group.assign(static_cast<std::size_t>(problem.num_instances()), 0);
+  plan.critical.assign(static_cast<std::size_t>(problem.num_instances()), {});
 
   plan.num_groups = 1;
   for (const auto& d : decomps)
     plan.num_groups = std::max(plan.num_groups, d.max_depth());
 
-  for (InstanceId i = 0; i < problem.num_instances(); ++i) {
-    const DemandInstance& inst = problem.instance(i);
-    const TreeDecomposition& decomp =
-        decomps[static_cast<std::size_t>(inst.network)];
-    const TreeNetwork& network = problem.network(inst.network);
-    const EdgeId offset = problem.global_edge(inst.network, 0);
-
-    const auto pathv = network.path_vertices(inst.u, inst.v);
-    const VertexId mu = decomp.capture(inst.u, inst.v);
-    plan.group[static_cast<std::size_t>(i)] =
-        decomp.max_depth() - decomp.depth(mu);
-
-    auto& crit = plan.critical[static_cast<std::size_t>(i)];
-    add_wings(network, pathv, mu, offset, crit);
-    if (!mu_wings_only) {
-      for (VertexId u : decomp.pivots(mu)) {
-        const VertexId bend = network.median(u, inst.u, inst.v);
-        add_wings(network, pathv, bend, offset, crit);
-      }
-    }
-  }
+  for (InstanceId i = 0; i < problem.num_instances(); ++i)
+    plan_tree_instance(problem, decomps, mu_wings_only, i, plan);
   finalize_plan(problem, plan);
   return plan;
+}
+
+void extend_tree_layered_plan(const Problem& problem,
+                              const std::vector<TreeDecomposition>& decomps,
+                              LayeredPlan& plan, bool mu_wings_only) {
+  TS_REQUIRE(problem.finalized());
+  TS_REQUIRE(static_cast<int>(decomps.size()) == problem.num_networks());
+  const auto first = static_cast<InstanceId>(plan.group.size());
+  TS_REQUIRE(first <= problem.num_instances());
+  TS_REQUIRE(plan.critical.size() == plan.group.size());
+  // num_groups depends only on the decompositions, so appending
+  // instances never changes it (and existing group ids stay valid).
+  plan.group.resize(static_cast<std::size_t>(problem.num_instances()), 0);
+  plan.critical.resize(static_cast<std::size_t>(problem.num_instances()));
+  for (InstanceId i = first; i < problem.num_instances(); ++i)
+    plan_tree_instance(problem, decomps, mu_wings_only, i, plan);
+  // New ids exceed every existing id, so push_back keeps each group's
+  // member list ascending — identical to a from-scratch build.
+  finalize_plan(problem, plan, first);
 }
 
 LayeredPlan build_line_layered_plan(const Problem& problem) {

@@ -49,6 +49,27 @@ struct LayeredPlan {
 LayeredPlan build_tree_layered_plan(const Problem& problem, DecompKind kind,
                                     bool mu_wings_only = false);
 
+// Same plan, but against caller-held decompositions (one per network, in
+// network order).  The decompositions depend only on the topology, never
+// on the demand set, so a caller whose demands churn against a fixed
+// topology (the online scheduler) computes them once and rebuilds the
+// per-instance plan cheaply per batch.  build_tree_layered_plan(problem,
+// kind) is exactly this with freshly built decompositions.
+LayeredPlan build_tree_layered_plan(
+    const Problem& problem, const std::vector<TreeDecomposition>& decomps,
+    bool mu_wings_only = false);
+
+// Extends `plan` in place to cover instances appended to `problem` since
+// the plan was built (plan.group.size() marks the first new instance).
+// Groups, criticals, members and delta come out identical to rebuilding
+// from scratch: the group count is a property of the decompositions
+// alone, and appended ids are larger than every existing id, so the
+// per-group member lists stay ascending.  This turns the online
+// scheduler's per-batch plan rebuild into O(new instances).
+void extend_tree_layered_plan(const Problem& problem,
+                              const std::vector<TreeDecomposition>& decomps,
+                              LayeredPlan& plan, bool mu_wings_only = false);
+
 // Section 7 plan for line networks: length classes + {start, mid, end}.
 LayeredPlan build_line_layered_plan(const Problem& problem);
 

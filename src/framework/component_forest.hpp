@@ -54,6 +54,22 @@ class ComponentForest {
   void build(const Problem& problem, const LayeredPlan& plan,
              const std::vector<char>& active_mask);
 
+  // Incrementally revises a built forest after an active-set delta:
+  // `added` lists newly active instance ids (possibly beyond the
+  // instance count the forest was built with — an online problem grows
+  // by append), `removed` newly inactive ones.  Produces the identical
+  // (==) forest a fresh build() over the new mask would, but only
+  // groups with a delta are re-partitioned: components untouched by the
+  // delta (no lost member, no edge/demand shared with an added
+  // instance) are re-united by cheap chain unions and their member
+  // spans sliced straight across; everything else is re-walked.  Falls
+  // back to build() when nothing was ever built or the group count
+  // changed.
+  void update(const Problem& problem, const LayeredPlan& plan,
+              const std::vector<char>& active_mask,
+              std::span<const InstanceId> added,
+              std::span<const InstanceId> removed);
+
   bool built() const { return built_; }
   void invalidate() { built_ = false; }
 
@@ -80,9 +96,22 @@ class ComponentForest {
             static_cast<std::size_t>(comp_member_begin_[comp + 1] -
                                      comp_member_begin_[comp])};
   }
+  // Global (cross-group) component id of an active member, -1 for
+  // inactive ids.  Stable only until the next build()/update().
+  int component_of(InstanceId i) const {
+    return comp_of_member_[static_cast<std::size_t>(i)];
+  }
+  // Members of a component by its global id, ascending rank order.
+  std::span<const InstanceId> component_members(int comp) const {
+    const auto c = static_cast<std::size_t>(comp);
+    return {member_ids_.data() + comp_member_begin_[c],
+            static_cast<std::size_t>(comp_member_begin_[c + 1] -
+                                     comp_member_begin_[c])};
+  }
 
  private:
   int find(int x);
+  void refill_member_index(int n);
 
   bool built_ = false;
   int num_groups_ = 0;
@@ -99,6 +128,21 @@ class ComponentForest {
   std::vector<int> edge_last_, edge_stamp_, demand_last_, demand_stamp_;
   // Root -> dense component id, stamped per group.
   std::vector<int> comp_of_root_, root_stamp_;
+  // Member id -> global component id (-1 inactive); what update()'s
+  // dirty marking and the online scheduler's row splitting key on.
+  std::vector<int> comp_of_member_;
+  // Monotone stamp for update()'s walks; strictly above every stamp
+  // value build() leaves behind, so no scratch array needs clearing.
+  int update_stamp_ = 0;
+  // update() scratch: per-group / per-component delta flags and the
+  // staging arrays the revised flat forest is assembled into before the
+  // final swap (the old arrays must stay readable while updating).
+  std::vector<char> touched_group_, dirty_comp_;
+  std::vector<int> upd_first_comp_;
+  std::vector<std::int64_t> upd_member_begin_, group_cursor_;
+  std::vector<int> upd_ranks_;
+  std::vector<InstanceId> upd_ids_;
+  std::vector<std::int64_t> group_sizes_;
 
   // The flat forest: group g owns components
   // [group_first_comp_[g], group_first_comp_[g+1]); component c owns

@@ -155,10 +155,16 @@ TwoPhaseEngine::StageSchedule TwoPhaseEngine::prepare(SolveStats& stats) const {
   StageSchedule sched;
   // Delta, h_min, xi and the multi-stage count come from the shared
   // derivation (over the active instances only: the wide/narrow split
-  // runs see different effective parameters).
+  // runs see different effective parameters).  A warm restart pins the
+  // parameters of the *full* problem instead — a restricted re-solve
+  // must replay the same stage schedule the cold solve uses, or the
+  // per-component duals stop being exchangeable between the two.
   const StageParams params =
-      derive_stage_params(*problem_, *plan_, active_mask_, config_.rule,
-                          config_.epsilon, config_.xi_override);
+      pinned_params_ != nullptr
+          ? *pinned_params_
+          : derive_stage_params(*problem_, *plan_, active_mask_,
+                                config_.rule, config_.epsilon,
+                                config_.xi_override);
   stats.delta = params.delta;
   sched.any_active = params.any_active;
   if (!sched.any_active) return sched;
@@ -202,13 +208,21 @@ void TwoPhaseEngine::finish(SolveResult& result,
     result.solution = prune_stack(*problem_, stack);
   }
   stats.profit = result.solution.profit(*problem_);
-  if (config_.keep_stack) result.raise_stack = std::move(stack);
+  if (config_.keep_stack) {
+    result.raise_stack = std::move(stack);
+    result.stack_tags = std::move(stack_tags_);
+    TS_DCHECK(result.raise_stack.size() == result.stack_tags.size());
+  }
 }
 
 SolveResult TwoPhaseEngine::run() {
   TRACE_SPAN("engine", "run");
   SolveResult result;
+  stack_tags_.clear();
   const StageSchedule sched = prepare(result.stats);
+  if (config_.keep_lhs)
+    result.final_lhs.assign(
+        static_cast<std::size_t>(problem_->num_instances()), 0.0);
   if (!sched.any_active) {
     result.stats.lambda_observed = 1.0;
     return result;
@@ -217,6 +231,13 @@ SolveResult TwoPhaseEngine::run() {
     run_central(sched, result);
   else
     run_incremental(sched, result);
+  return result;
+}
+
+SolveResult TwoPhaseEngine::run_warm(const StageParams& pinned) {
+  pinned_params_ = &pinned;
+  SolveResult result = run();
+  pinned_params_ = nullptr;
   return result;
 }
 
@@ -289,6 +310,7 @@ void TwoPhaseEngine::run_central(const StageSchedule& sched,
       ++stats.stages;
       TRACE_SPAN2("engine", "stage", "group", g, "stage", j);
       int steps_this_stage = 0;
+      int rows_this_stage = 0;
       for (;;) {
         unsatisfied.clear();
         for (InstanceId i : members) {
@@ -339,6 +361,9 @@ void TwoPhaseEngine::run_central(const StageSchedule& sched,
         }
         for (InstanceId i : mis.selected)
           raise(i, dual, rule, stats, raised_order, increments);
+        if (config_.keep_stack)
+          stack_tags_.push_back(StackTag{g, j, rows_this_stage});
+        ++rows_this_stage;
         stack.push_back(mis.selected);
         TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
       }
@@ -352,6 +377,14 @@ void TwoPhaseEngine::run_central(const StageSchedule& sched,
   stats.dual_objective = dual.objective();
   stats.lambda_observed =
       observed_lambda(*problem_, dual, rule, active_mask_);
+  if (config_.keep_lhs) {
+    for (InstanceId i = 0; i < problem_->num_instances(); ++i) {
+      if (!is_active(i)) continue;
+      const DemandInstance& inst = problem_->instance(i);
+      result.final_lhs[static_cast<std::size_t>(i)] =
+          dual.lhs(inst, rule.beta_coeff(inst));
+    }
+  }
   finish(result, stack);
 }
 
@@ -596,6 +629,7 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
       ++stats.stages;
       TRACE_SPAN2("engine", "stage", "group", g, "stage", j);
       int steps_this_stage = 0;
+      int rows_this_stage = 0;
       bool scanned = false;
       for (;;) {
         if (!scanned) {
@@ -661,6 +695,9 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
                              inst.profit) <=
                     1e-6 * std::max(1.0, inst.profit));
         }
+        if (config_.keep_stack)
+          stack_tags_.push_back(StackTag{g, j, rows_this_stage});
+        ++rows_this_stage;
         stack.push_back(mis.selected);
         TS_REQUIRE(steps_this_stage <= config_.max_steps_per_stage);
       }
@@ -684,6 +721,14 @@ void TwoPhaseEngine::run_incremental(const StageSchedule& sched,
     any = true;
   }
   stats.lambda_observed = any ? lambda : 1.0;
+  if (config_.keep_lhs) {
+    for (InstanceId i = 0; i < problem_->num_instances(); ++i) {
+      if (!is_active(i)) continue;
+      const DemandInstance& inst = problem_->instance(i);
+      result.final_lhs[static_cast<std::size_t>(i)] =
+          lhs_local(i, rule.beta_coeff(inst));
+    }
+  }
   finish(result, stack);
 }
 
@@ -937,6 +982,7 @@ void TwoPhaseEngine::merge_components(
     const int stage_steps =
         config_.lockstep ? sched.lockstep_budget : max_steps;
     int counted = 0;
+    int rows_this_stage = 0;
     bool stage_broken = false;
     for (int t = 0; t < stage_steps && !stage_broken; ++t) {
       merge_row_.clear();
@@ -1011,6 +1057,9 @@ void TwoPhaseEngine::merge_components(
                        raised_order);
         row.push_back(i);
       }
+      if (config_.keep_stack)
+        stack_tags_.push_back(StackTag{group, j, rows_this_stage});
+      ++rows_this_stage;
       stack.push_back(std::move(row));
     }
     stats.max_steps_in_stage = std::max(stats.max_steps_in_stage, counted);

@@ -169,8 +169,14 @@ struct SolverConfig {
   // whether it did.
   bool lockstep = false;
   int lockstep_slack = 2;
-  // Retain the raise stack in SolveResult (for the phase-2 ablations).
+  // Retain the raise stack in SolveResult (for the phase-2 ablations and
+  // the online warm-start caches, which also get the per-row
+  // (group, stage, step) tags — see SolveResult::stack_tags).
   bool keep_stack = false;
+  // Export every active instance's final LHS (the per-shard dual state
+  // the online scheduler caches per conflict component) in
+  // SolveResult::final_lhs.
+  bool keep_lhs = false;
   // xi override for ablations; 0 = derive from the rule, Delta and h_min.
   double xi_override = 0.0;
   // Runtime verification of the interference property (quadratic; tests).
@@ -271,13 +277,36 @@ struct SolveStats {
   void merge(const SolveStats& other);
 };
 
+// Chronological address of one raise-stack row: the epoch (group), the
+// 1-based stage within it and the 0-based step within the stage.  Because
+// conflict-disjoint components advance in lockstep through the shared
+// step grid, a component's rows keep the same tags no matter which other
+// components run alongside it — the invariant the online scheduler's
+// warm-start cache splices rows by.
+struct StackTag {
+  int group = 0;
+  int stage = 0;
+  int step = 0;
+  friend bool operator==(const StackTag&, const StackTag&) = default;
+  friend auto operator<=>(const StackTag&, const StackTag&) = default;
+};
+
 struct SolveResult {
   Solution solution;
   SolveStats stats;
   // The raise stack (one entry per step, in raise order); populated only
   // when SolverConfig::keep_stack is set.
   std::vector<std::vector<InstanceId>> raise_stack;
+  // Per-row (group, stage, step) tags, parallel to raise_stack; populated
+  // only when SolverConfig::keep_stack is set.
+  std::vector<StackTag> stack_tags;
+  // Final LHS of every instance's dual constraint (0.0 for inactive
+  // instances), indexed by instance id; populated only when
+  // SolverConfig::keep_lhs is set.
+  std::vector<double> final_lhs;
 };
+
+struct StageParams;
 
 class TwoPhaseEngine {
  public:
@@ -292,6 +321,15 @@ class TwoPhaseEngine {
   void restrict_to(std::vector<InstanceId> active);
 
   SolveResult run();
+
+  // Warm-start entry point (the online scheduler's incremental re-solve):
+  // runs with the stage schedule pinned to `pinned` instead of deriving it
+  // from the restricted active mask.  Restricting a run to the conflict
+  // components an event batch touched only reproduces the full solve's
+  // per-component dynamics when every run uses the *globally* derived
+  // Delta/h_min/xi — the restricted mask alone would derive a different
+  // schedule and silently break the exact (==) warm-vs-cold parity.
+  SolveResult run_warm(const StageParams& pinned);
 
  private:
   // The stage schedule shared by both engine implementations, derived
@@ -439,6 +477,12 @@ class TwoPhaseEngine {
   std::vector<char> active_mask_;
   std::vector<int> demand_seen_stamp_;
   int notify_stamp_ = 0;
+  // Set for the duration of run_warm(): prepare() uses these instead of
+  // deriving the schedule from the restricted active mask.
+  const StageParams* pinned_params_ = nullptr;
+  // Per-row (group, stage, step) tags, recorded alongside every stack
+  // push when keep_stack is set and handed to the result by finish().
+  std::vector<StackTag> stack_tags_;
 
   // Incremental-engine state, rebuilt by every run(): per-instance dual
   // shards, the cached-LHS layer over them, and the per-(edge, instance)

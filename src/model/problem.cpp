@@ -5,12 +5,19 @@
 namespace treesched {
 
 Problem::Problem(VertexId num_vertices, std::vector<TreeNetwork> networks)
+    : Problem(num_vertices,
+              std::make_shared<const std::vector<TreeNetwork>>(
+                  std::move(networks))) {}
+
+Problem::Problem(VertexId num_vertices,
+                 std::shared_ptr<const std::vector<TreeNetwork>> networks)
     : n_(num_vertices), networks_(std::move(networks)) {
   check_input(n_ >= 1, "problem needs at least one vertex");
-  check_input(!networks_.empty(), "problem needs at least one network");
-  edge_offset_.reserve(networks_.size() + 1);
+  check_input(networks_ != nullptr && !networks_->empty(),
+              "problem needs at least one network");
+  edge_offset_.reserve(networks_->size() + 1);
   edge_offset_.push_back(0);
-  for (const TreeNetwork& t : networks_) {
+  for (const TreeNetwork& t : *networks_) {
     check_input(t.num_vertices() == n_,
                 "all networks must be defined over the shared vertex set");
     edge_offset_.push_back(edge_offset_.back() + t.num_edges());
@@ -29,8 +36,8 @@ DemandId Problem::add_demand(VertexId u, VertexId v, Profit profit,
               "demand height must lie in (0, 1]");
   const DemandId id = static_cast<DemandId>(demands_.size());
   demands_.push_back(Demand{id, u, v, profit, height});
-  std::vector<NetworkId> all(networks_.size());
-  for (std::size_t q = 0; q < networks_.size(); ++q)
+  std::vector<NetworkId> all(networks_->size());
+  for (std::size_t q = 0; q < networks_->size(); ++q)
     all[q] = static_cast<NetworkId>(q);
   access_.push_back(std::move(all));
   return id;
@@ -77,7 +84,7 @@ InstanceId Problem::add_instance(DemandId d, NetworkId network, VertexId u,
   inst.height = dem.height;
   const EdgeId offset = edge_offset_[static_cast<std::size_t>(network)];
   for (EdgeId local :
-       networks_[static_cast<std::size_t>(network)].path_edges(u, v))
+       (*networks_)[static_cast<std::size_t>(network)].path_edges(u, v))
     inst.edges.push_back(offset + local);
   std::sort(inst.edges.begin(), inst.edges.end());
   check_input(!inst.edges.empty(), "instance path must contain an edge");
@@ -92,7 +99,10 @@ void Problem::finalize() {
   if (!manual_instances_) {
     // Default expansion: one instance per (demand, accessible network),
     // routed along the unique tree path (paper, Section 2 reformulation).
-    for (const Demand& dem : demands_) {
+    // Demands expanded by an earlier finalize() keep their instances;
+    // only the ones appended since the last reopen() are walked.
+    for (DemandId d = expanded_demands_; d < num_demands(); ++d) {
+      const Demand& dem = demands_[static_cast<std::size_t>(d)];
       for (NetworkId q : access_[static_cast<std::size_t>(dem.id)]) {
         DemandInstance inst;
         inst.id = static_cast<InstanceId>(instances_.size());
@@ -104,13 +114,14 @@ void Problem::finalize() {
         inst.height = dem.height;
         const EdgeId offset = edge_offset_[static_cast<std::size_t>(q)];
         for (EdgeId local :
-             networks_[static_cast<std::size_t>(q)].path_edges(dem.u, dem.v))
+             (*networks_)[static_cast<std::size_t>(q)].path_edges(dem.u, dem.v))
           inst.edges.push_back(offset + local);
         std::sort(inst.edges.begin(), inst.edges.end());
         instances_.push_back(std::move(inst));
       }
     }
   }
+  expanded_demands_ = num_demands();
   check_input(!instances_.empty(), "problem has no demand instances");
 
   by_demand_.assign(static_cast<std::size_t>(num_demands()), {});
@@ -161,15 +172,20 @@ void Problem::finalize() {
   finalized_ = true;
 }
 
+void Problem::reopen() {
+  require_finalized();
+  finalized_ = false;
+}
+
 const TreeNetwork& Problem::network(NetworkId q) const {
   TS_REQUIRE(q >= 0 && q < num_networks());
-  return networks_[static_cast<std::size_t>(q)];
+  return (*networks_)[static_cast<std::size_t>(q)];
 }
 
 EdgeId Problem::global_edge(NetworkId q, EdgeId local) const {
   TS_REQUIRE(q >= 0 && q < num_networks());
   TS_REQUIRE(local >= 0 &&
-             local < networks_[static_cast<std::size_t>(q)].num_edges());
+             local < (*networks_)[static_cast<std::size_t>(q)].num_edges());
   return edge_offset_[static_cast<std::size_t>(q)] + local;
 }
 

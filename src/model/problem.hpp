@@ -18,6 +18,7 @@
 // indexed by global edge id.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -54,6 +55,12 @@ class Problem {
  public:
   // --- construction ------------------------------------------------------
   Problem(VertexId num_vertices, std::vector<TreeNetwork> networks);
+  // Shares an immutable topology already held elsewhere — the online
+  // service rebuilds a problem per event batch over a fixed topology,
+  // and the networks (with their LCA/ancestor query tables) are by far
+  // the heaviest part of a copy.
+  Problem(VertexId num_vertices,
+          std::shared_ptr<const std::vector<TreeNetwork>> networks);
 
   // Adds a demand; returns its id.  Access defaults to all networks until
   // set_access() is called.  Must precede finalize().
@@ -78,9 +85,24 @@ class Problem {
   void finalize();
   bool finalized() const { return finalized_; }
 
+  // Reopens a finalized problem for appending more demands (add_demand /
+  // set_access / set_capacity), after which finalize() must run again.
+  // Existing demand and instance ids, routing paths and access sets are
+  // preserved; only the appended demands are expanded, so a
+  // reopen-append-finalize cycle costs O(new instances + index rebuild)
+  // instead of a full re-materialization.  This is the online scheduler's
+  // per-batch path: between compactions its record set is append-only.
+  void reopen();
+
   // --- topology ----------------------------------------------------------
   VertexId num_vertices() const { return n_; }
-  int num_networks() const { return static_cast<int>(networks_.size()); }
+  int num_networks() const { return static_cast<int>(networks_->size()); }
+  // The shared topology itself, for callers that construct sibling
+  // problems over the same networks without copying them.
+  const std::shared_ptr<const std::vector<TreeNetwork>>& shared_networks()
+      const {
+    return networks_;
+  }
   const TreeNetwork& network(NetworkId q) const;
   EdgeId num_global_edges() const { return total_edges_; }
   EdgeId global_edge(NetworkId q, EdgeId local) const;
@@ -130,7 +152,7 @@ class Problem {
   void require_mutable() const { TS_REQUIRE(!finalized_); }
 
   VertexId n_;
-  std::vector<TreeNetwork> networks_;
+  std::shared_ptr<const std::vector<TreeNetwork>> networks_;
   std::vector<EdgeId> edge_offset_;  // per network; last element = total
   EdgeId total_edges_ = 0;
   std::vector<Capacity> capacity_;  // per global edge
@@ -140,6 +162,7 @@ class Problem {
   std::vector<DemandInstance> instances_;
   bool manual_instances_ = false;
   bool finalized_ = false;
+  DemandId expanded_demands_ = 0;  // demands already expanded to instances
 
   std::vector<std::vector<InstanceId>> by_demand_;
   // CSR edge -> instances index: bucket of edge e is

@@ -97,66 +97,79 @@ Height draw_height(const DemandGenConfig& cfg, Rng& rng) {
 
 }  // namespace
 
+DemandSampler::DemandSampler(const Problem& problem,
+                             const DemandGenConfig& cfg)
+    : problem_(&problem),
+      cfg_(cfg),
+      leaves_(leaves_of(problem.network(0))) {}
+
+DemandDraw DemandSampler::next(Rng& rng) const {
+  const Problem& problem = *problem_;
+  DemandDraw draw;
+  switch (cfg_.endpoints) {
+    case EndpointLaw::kUniformPair:
+      draw.u = random_vertex(problem, rng);
+      do {
+        draw.v = random_vertex(problem, rng);
+      } while (draw.v == draw.u);
+      break;
+    case EndpointLaw::kLocalPair:
+      draw.u = random_vertex(problem, rng);
+      draw.v = nearby_vertex(problem, draw.u, cfg_.locality, rng);
+      if (draw.v == kNoVertex) {
+        do {
+          draw.v = random_vertex(problem, rng);
+        } while (draw.v == draw.u);
+      }
+      break;
+    case EndpointLaw::kLeafToLeaf:
+      TS_REQUIRE(leaves_.size() >= 2);
+      draw.u = rng.pick(leaves_);
+      do {
+        draw.v = rng.pick(leaves_);
+      } while (draw.v == draw.u);
+      break;
+  }
+
+  switch (cfg_.profits) {
+    case ProfitLaw::kUniform:
+      draw.profit = rng.uniform(1.0, cfg_.profit_max);
+      break;
+    case ProfitLaw::kZipf:
+      draw.profit = static_cast<Profit>(
+          rng.zipf(static_cast<std::int64_t>(cfg_.profit_max), 1.1));
+      break;
+    case ProfitLaw::kProportionalLength:
+      draw.profit =
+          static_cast<Profit>(problem.network(0).dist(draw.u, draw.v)) *
+          rng.uniform(1.0, 4.0);
+      break;
+  }
+
+  draw.height = draw_height(cfg_, rng);
+
+  if (cfg_.access_size > 0 && cfg_.access_size < problem.num_networks()) {
+    std::vector<NetworkId> all(
+        static_cast<std::size_t>(problem.num_networks()));
+    for (int q = 0; q < problem.num_networks(); ++q)
+      all[static_cast<std::size_t>(q)] = q;
+    rng.shuffle(all);
+    all.resize(static_cast<std::size_t>(cfg_.access_size));
+    draw.access = std::move(all);
+  }
+  return draw;
+}
+
 void add_random_demands(Problem& problem, const DemandGenConfig& cfg,
                         Rng& rng) {
   TS_REQUIRE(!problem.finalized());
   TS_REQUIRE(cfg.num_demands >= 1);
-  const std::vector<VertexId> leaves = leaves_of(problem.network(0));
-
+  const DemandSampler sampler(problem, cfg);
   for (int k = 0; k < cfg.num_demands; ++k) {
-    VertexId u = kNoVertex, v = kNoVertex;
-    switch (cfg.endpoints) {
-      case EndpointLaw::kUniformPair:
-        u = random_vertex(problem, rng);
-        do {
-          v = random_vertex(problem, rng);
-        } while (v == u);
-        break;
-      case EndpointLaw::kLocalPair:
-        u = random_vertex(problem, rng);
-        v = nearby_vertex(problem, u, cfg.locality, rng);
-        if (v == kNoVertex) {
-          do {
-            v = random_vertex(problem, rng);
-          } while (v == u);
-        }
-        break;
-      case EndpointLaw::kLeafToLeaf:
-        TS_REQUIRE(leaves.size() >= 2);
-        u = rng.pick(leaves);
-        do {
-          v = rng.pick(leaves);
-        } while (v == u);
-        break;
-    }
-
-    Profit profit = 1.0;
-    switch (cfg.profits) {
-      case ProfitLaw::kUniform:
-        profit = rng.uniform(1.0, cfg.profit_max);
-        break;
-      case ProfitLaw::kZipf:
-        profit = static_cast<Profit>(
-            rng.zipf(static_cast<std::int64_t>(cfg.profit_max), 1.1));
-        break;
-      case ProfitLaw::kProportionalLength:
-        profit = static_cast<Profit>(problem.network(0).dist(u, v)) *
-                 rng.uniform(1.0, 4.0);
-        break;
-    }
-
+    DemandDraw draw = sampler.next(rng);
     const DemandId d =
-        problem.add_demand(u, v, profit, draw_height(cfg, rng));
-
-    if (cfg.access_size > 0 && cfg.access_size < problem.num_networks()) {
-      std::vector<NetworkId> all(
-          static_cast<std::size_t>(problem.num_networks()));
-      for (int q = 0; q < problem.num_networks(); ++q)
-        all[static_cast<std::size_t>(q)] = q;
-      rng.shuffle(all);
-      all.resize(static_cast<std::size_t>(cfg.access_size));
-      problem.set_access(d, std::move(all));
-    }
+        problem.add_demand(draw.u, draw.v, draw.profit, draw.height);
+    if (!draw.access.empty()) problem.set_access(d, std::move(draw.access));
   }
 }
 

@@ -42,6 +42,37 @@ struct DemandGenConfig {
   int access_size = 0;  // 0 = all networks, else random subset of this size
 };
 
+// One sampled demand, not yet materialized into a Problem.  The online
+// event stream draws these against a *finalized* base problem (arrivals
+// are materialized into per-batch rebuilds), while add_random_demands
+// below feeds them straight into an unfinalized one.
+struct DemandDraw {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+  Profit profit = 1.0;
+  Height height = 1.0;
+  // Empty = all networks (Problem's set_access default).
+  std::vector<NetworkId> access;
+};
+
+// Draws demands under the config's laws.  The draw sequence per demand
+// (endpoints, profit, height, access shuffle — in that order) is part of
+// the seeded-reproducibility contract: add_random_demands(problem, cfg,
+// rng) materializes exactly the draws next() yields from an equal Rng.
+class DemandSampler {
+ public:
+  // The problem provides the topology the laws sample against (vertex
+  // count, network 0 adjacency, network count); it may be finalized.
+  DemandSampler(const Problem& problem, const DemandGenConfig& cfg);
+
+  DemandDraw next(Rng& rng) const;
+
+ private:
+  const Problem* problem_;
+  DemandGenConfig cfg_;
+  std::vector<VertexId> leaves_;  // of network 0, for kLeafToLeaf
+};
+
 // Adds cfg.num_demands random demands (with access sets) to `problem`.
 // Must be called before finalize().
 void add_random_demands(Problem& problem, const DemandGenConfig& cfg,

@@ -9,11 +9,28 @@
 //                 [--slack=2.0] [--heights=...] [--seed=1]
 //   treesched_cli info      <file>
 //   treesched_cli solve     <file> [--algo=auto|tree|line|seq|exact|
-//                 nonuniform|protocol] [--eps=0.1] [--ps] [--seed=1]
+//                 nonuniform|protocol|online] [--eps=0.1] [--ps] [--seed=1]
 //                 [--decomp=ideal|balancing|rootfix] [--out=sol.txt]
 //                 [--trace=trace.json]
 //                 [--transport=inproc|serialized|threaded]
 //                 [--faults=drop=0.05,dup=0.02,corrupt=0.01,seed=1]
+//                 [--arrivals=poisson|bursty|diurnal] [--rate=8]
+//                 [--batches=16] [--interval=1.0] [--lifetime=8.0]
+//                 [--init-pop=0] [--threads=1]
+//
+// --algo=online runs the incremental warm-start service (online/): the
+// tree problem's demands become the resident population, a churn trace
+// (--arrivals/--rate/--batches/--interval/--lifetime/--init-pop, sampled
+// by --seed) is replayed batch by batch through the OnlineScheduler, and
+// only the conflict components each batch touches are re-solved.  The
+// run reports steady-state throughput (events and demands/sec sustained)
+// plus the touched-component ratio, then the final assembled solution.
+//
+// Argument parsing (tools/cli_args.hpp, shared with tests/
+// test_cli_args.cpp) is strict: malformed numbers (--eps=abc, --eps=0.5x),
+// value flags given space-separated (--threads 4), unknown flags or enum
+// names (--shape=binray) and stray positionals all exit 2 with a
+// diagnostic naming the offending flag.
 //
 // --algo=protocol runs the matching theorem as the *message-level*
 // protocol (dist/protocol_scheduler) instead of the modeled engine, and
@@ -41,10 +58,12 @@
 #include <string>
 
 #include "capacity/nonuniform.hpp"
+#include "cli_args.hpp"
 #include "dist/scheduler.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "io/text_io.hpp"
 #include "obs/trace.hpp"
+#include "online/online_scheduler.hpp"
 #include "seq/sequential.hpp"
 #include "workload/scenario.hpp"
 
@@ -52,61 +71,12 @@ using namespace treesched;
 
 namespace {
 
-struct Args {
-  std::string command;
-  std::string file;
-  std::map<std::string, std::string> flags;
-
-  std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
-  }
-  double num(const std::string& key, double fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
-  }
-  bool has(const std::string& key) const { return flags.contains(key); }
-};
-
-Args parse(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string token = argv[i];
-    if (token.rfind("--", 0) == 0) {
-      const auto eq = token.find('=');
-      if (eq == std::string::npos)
-        args.flags[token.substr(2)] = "1";
-      else
-        args.flags[token.substr(2, eq - 2)] = token.substr(eq + 1);
-    } else if (args.file.empty()) {
-      args.file = token;
-    }
-  }
-  return args;
-}
-
-TreeShape parse_shape(const std::string& name) {
-  if (name == "binary") return TreeShape::kBinary;
-  if (name == "path") return TreeShape::kPath;
-  if (name == "star") return TreeShape::kStar;
-  if (name == "caterpillar") return TreeShape::kCaterpillar;
-  if (name == "broom") return TreeShape::kBroom;
-  return TreeShape::kRandomAttachment;
-}
-
-HeightLaw parse_heights(const std::string& name) {
-  if (name == "uniform") return HeightLaw::kUniformRange;
-  if (name == "bimodal") return HeightLaw::kBimodal;
-  if (name == "narrow") return HeightLaw::kNarrowOnly;
-  return HeightLaw::kUnit;
-}
-
-DecompKind parse_decomp(const std::string& name) {
-  if (name == "balancing") return DecompKind::kBalancing;
-  if (name == "rootfix") return DecompKind::kRootFixing;
-  return DecompKind::kIdeal;
-}
+using cli::Args;
+using cli::parse_arrivals;
+using cli::parse_decomp;
+using cli::parse_heights;
+using cli::parse_shape;
+using cli::UsageError;
 
 bool is_line_file(const std::string& path) {
   std::ifstream is(path);
@@ -224,6 +194,62 @@ void report(const Problem& problem, const Solution& solution, double bound,
   }
 }
 
+// The online service arm: replay a churn trace through the incremental
+// scheduler and report sustained throughput, then the final solution.
+int cmd_solve_online(const Args& args, const Problem& problem) {
+  OnlineTrafficSpec traffic;
+  traffic.arrivals = parse_arrivals(args.get("arrivals", "poisson"));
+  traffic.rate = args.num("rate", 8.0);
+  traffic.num_batches = static_cast<int>(args.num("batches", 16));
+  traffic.batch_interval = args.num("interval", 1.0);
+  traffic.initial_population = static_cast<int>(args.num("init-pop", 0));
+  traffic.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  TenantClass tenant;
+  tenant.mean_lifetime = args.num("lifetime", 8.0);
+  traffic.tenants.push_back(tenant);
+
+  DemandGenConfig demand_cfg;
+  demand_cfg.heights = parse_heights(args.get("heights", "unit"));
+  demand_cfg.profit_max = args.num("pmax", 100.0);
+
+  OnlineConfig cfg;
+  cfg.solver.epsilon = args.num("eps", 0.1);
+  cfg.solver.threads = static_cast<int>(args.num("threads", 1));
+  cfg.decomp = parse_decomp(args.get("decomp", "ideal"));
+
+  const std::vector<EventBatch> trace =
+      make_event_trace(problem, demand_cfg, traffic);
+  OnlineScheduler scheduler(problem, cfg);
+  std::int64_t events = 0, solve_ns = 0, touched = 0, total = 0;
+  for (const EventBatch& batch : trace) {
+    const OnlineBatchReport rep = scheduler.step(batch);
+    events += rep.arrivals + rep.departures;
+    solve_ns += rep.solve_ns;
+    touched += rep.touched_components;
+    total += rep.total_components;
+  }
+  const double seconds = static_cast<double>(solve_ns) / 1e9;
+  std::printf("online: %d batches, %lld events over %d resident demands\n",
+              scheduler.batches_applied(), static_cast<long long>(events),
+              problem.num_demands());
+  std::printf("throughput: %.0f events/sec sustained (%.3f ms/batch); "
+              "touched %lld of %lld components (%.1f%%)\n",
+              seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0,
+              trace.empty() ? 0.0
+                            : seconds * 1e3 /
+                                  static_cast<double>(trace.size()),
+              static_cast<long long>(touched),
+              static_cast<long long>(total),
+              total > 0 ? 100.0 * static_cast<double>(touched) /
+                              static_cast<double>(total)
+                        : 0.0);
+  const OnlineSolveArtifacts art = scheduler.assemble();
+  std::printf("final population: %d live demands, lambda %.4f\n",
+              scheduler.live_demands(), art.lambda);
+  report(scheduler.problem(), art.solution, 0.0, SolveStats{}, args);
+  return 0;
+}
+
 int cmd_solve(const Args& args) {
   if (args.has("trace")) obs::enable_tracing();
   const bool line = is_line_file(args.file);
@@ -236,6 +262,18 @@ int cmd_solve(const Args& args) {
   }();
 
   const std::string algo = args.get("algo", "auto");
+  bool known_algo = false;
+  for (const char* known : {"auto", "tree", "line", "seq", "exact",
+                            "nonuniform", "protocol", "online"})
+    known_algo = known_algo || algo == known;
+  if (!known_algo)
+    throw cli::bad_name("algo", algo,
+                        "auto|tree|line|seq|exact|nonuniform|protocol|online");
+  if (algo == "online") {
+    if (line)
+      throw UsageError("--algo=online requires a tree problem file");
+    return cmd_solve_online(args, problem);
+  }
   DistOptions options;
   options.epsilon = args.num("eps", 0.1);
   options.seed = static_cast<std::uint64_t>(args.num("seed", 1));
@@ -352,13 +390,16 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
-  if (args.command.empty() || args.file.empty()) return usage();
   try {
+    const Args args = cli::parse(argc, argv);
+    if (args.command.empty() || args.file.empty()) return usage();
     if (args.command == "gen-tree") return cmd_gen_tree(args);
     if (args.command == "gen-line") return cmd_gen_line(args);
     if (args.command == "info") return cmd_info(args);
     if (args.command == "solve") return cmd_solve(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
