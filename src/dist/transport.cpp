@@ -55,14 +55,6 @@ TransportKind resolve_transport_kind(TransportKind kind) {
 
 namespace {
 
-void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
-  std::uint32_t u;
-  std::memcpy(&u, &v, 4);
-  const std::size_t at = out.size();
-  out.resize(at + 4);
-  std::memcpy(out.data() + at, &u, 4);
-}
-
 std::int32_t get_i32(const std::uint8_t* p) {
   std::int32_t v;
   std::memcpy(&v, p, 4);
@@ -122,77 +114,33 @@ bool decode_message(std::span<const std::uint8_t> buf, std::size_t& offset,
 }
 
 // --- frame codec -----------------------------------------------------------
-
-namespace {
-
-struct Crc32Table {
-  std::array<std::uint32_t, 256> entry;
-  Crc32Table() {
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      entry[i] = c;
-    }
-  }
-};
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t u) {
-  const std::size_t at = out.size();
-  out.resize(at + 4);
-  std::memcpy(out.data() + at, &u, 4);
-}
-
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t u;
-  std::memcpy(&u, p, 4);
-  return u;
-}
-
-}  // namespace
-
-std::uint32_t crc32(std::span<const std::uint8_t> data) {
-  static const Crc32Table table;
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const std::uint8_t b : data)
-    c = table.entry[(c ^ b) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
+//
+// Built on the shared io/framing.hpp helpers (also used by the online
+// journal and snapshot files): begin/end for the zero-copy placeholder-
+// then-patch encode, verify for the checksum check over exactly the
+// bytes the self-delimiting inner message occupies.
 
 std::size_t encode_frame(const Message& m, std::uint32_t seq,
                          std::vector<std::uint8_t>& out) {
-  const std::size_t before = out.size();
-  put_u32(out, 0);  // checksum placeholder, patched below
-  put_u32(out, seq);
+  const std::size_t frame_start = begin_crc_frame(out);
   encode_message(m, out);
-  // The checksum covers everything after itself: seq + message bytes.
-  const std::uint32_t crc =
-      crc32({out.data() + before + 4, out.size() - before - 4});
-  std::memcpy(out.data() + before, &crc, 4);
-  return out.size() - before;
+  return end_crc_frame(out, frame_start, seq);
 }
 
 bool decode_frame(std::span<const std::uint8_t> buf, std::size_t& offset,
                   std::uint32_t& seq, Message& out, std::string* error) {
-  if (offset > buf.size() || buf.size() - offset < 8) {
+  if (offset > buf.size() || buf.size() - offset < kCrcFrameHeaderBytes) {
     fail(error, "frame header truncated (need 8 bytes)");
     return false;
   }
-  const std::uint8_t* p = buf.data() + offset;
-  const std::uint32_t want = get_u32(p);
   // Decode the inner message first to learn the frame length, then
   // checksum exactly that many bytes.  A length corrupted into garbage
   // fails the decode; a length corrupted into a *valid* smaller/larger
   // frame still fails the CRC below, because the checksum covers the
   // length field itself.
-  std::size_t inner = offset + 8;
+  std::size_t inner = offset + kCrcFrameHeaderBytes;
   if (!decode_message(buf, inner, out, error)) return false;
-  const std::uint32_t got = crc32({p + 4, inner - offset - 4});
-  if (got != want) {
-    fail(error, "frame checksum mismatch");
-    return false;
-  }
-  seq = get_u32(p + 4);
+  if (!verify_crc_frame(buf, offset, inner - offset, seq, error)) return false;
   offset = inner;
   return true;
 }

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "common/prelude.hpp"
+#include "io/framing.hpp"  // crc32 + the shared [crc | seq] frame helpers
 
 namespace treesched {
 
@@ -185,9 +186,10 @@ struct FaultStats {
 // where the checksum covers the sequence number and the message bytes.
 // `seq` numbers the (src, dst) stream so the receiver can dedup
 // duplicates and name missing frames in the ack/retransmit exchange.
-
-// CRC-32 (IEEE 802.3, reflected 0xEDB88320 polynomial).
-std::uint32_t crc32(std::span<const std::uint8_t> data);
+// The layout, the CRC-32, and the begin/end/verify helpers live in
+// io/framing.hpp (re-exported by the include above) and are shared with
+// the online service's write-ahead journal and snapshot files — the
+// wire and the durable formats cannot drift apart.
 
 // Appends the frame for (m, seq) to `out`; returns the bytes appended
 // (8 + message_wire_bytes(m)).

@@ -1,0 +1,226 @@
+#include "online/durable_service.hpp"
+
+#include <cstdlib>
+
+#include "common/prelude.hpp"
+#include "common/rng.hpp"
+
+namespace treesched {
+
+const char* to_string(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kMidJournalAppend:
+      return "mid-append";
+    case CrashPoint::kAfterAppend:
+      return "after-append";
+    case CrashPoint::kAfterApply:
+      return "after-apply";
+    case CrashPoint::kMidSnapshotWrite:
+      return "mid-snapshot";
+    case CrashPoint::kAfterSnapshot:
+      return "after-snapshot";
+  }
+  return "?";
+}
+
+namespace {
+
+CrashPoint parse_crash_point(const std::string& name) {
+  if (name == "none") return CrashPoint::kNone;
+  if (name == "mid-append") return CrashPoint::kMidJournalAppend;
+  if (name == "after-append") return CrashPoint::kAfterAppend;
+  if (name == "after-apply") return CrashPoint::kAfterApply;
+  if (name == "mid-snapshot") return CrashPoint::kMidSnapshotWrite;
+  if (name == "after-snapshot") return CrashPoint::kAfterSnapshot;
+  check_input(false,
+              "crash plan: unknown point '" + name +
+                  "' (expected mid-append|after-append|after-apply|"
+                  "mid-snapshot|after-snapshot)");
+  return CrashPoint::kNone;  // unreachable
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  check_input(used == value.size() && value.find('-') == std::string::npos,
+              "crash plan: bad value for '" + key + "': '" + value + "'");
+  return v;
+}
+
+// The once-per-process env hook, mirroring TREESCHED_FAULTS.
+const CrashPlan& env_crash_plan() {
+  static const CrashPlan plan = [] {
+    const char* env = std::getenv("TREESCHED_CRASH");
+    if (env == nullptr || *env == '\0') return CrashPlan{};
+    return parse_crash_plan(env);
+  }();
+  return plan;
+}
+
+}  // namespace
+
+CrashPlan parse_crash_plan(const std::string& spec) {
+  CrashPlan plan;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(',', at);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(at, end - at);
+    at = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    check_input(eq != std::string::npos,
+                "crash plan: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "point") {
+      plan.point = parse_crash_point(value);
+    } else if (key == "batch") {
+      plan.batch = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "seed") {
+      plan.seed = parse_u64(key, value);
+    } else {
+      check_input(false, "crash plan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+// --- the durable service ---------------------------------------------------
+
+DurableOnlineService::DurableOnlineService(OnlineConfig /*config*/,
+                                           DurabilityConfig durability)
+    : durability_(std::move(durability)),
+      store_(durability_.snapshot_base.empty()
+                 ? durability_.journal_path + ".snap"
+                 : durability_.snapshot_base) {
+  check_input(!durability_.journal_path.empty(),
+              "durable service: journal path is required");
+  check_input(durability_.snapshot_every >= 0,
+              "durable service: snapshot_every must be >= 0");
+  if (!durability_.crash.armed()) durability_.crash = env_crash_plan();
+}
+
+DurableOnlineService::DurableOnlineService(const Problem& base,
+                                           OnlineConfig config,
+                                           DurabilityConfig durability)
+    : DurableOnlineService(config, std::move(durability)) {
+  // Fresh start: the journal restarts at seq 0, so any surviving
+  // snapshot belongs to a *different* event history — clear both slots.
+  store_.reset();
+  journal_.emplace(Journal::create(durability_.journal_path));
+  scheduler_ = std::make_unique<OnlineScheduler>(base, std::move(config));
+}
+
+DurableOnlineService DurableOnlineService::recover(const Problem& base,
+                                                   OnlineConfig config,
+                                                   DurabilityConfig durability,
+                                                   RecoveryReport* report) {
+  DurableOnlineService service(config, std::move(durability));
+  RecoveryReport rec;
+
+  SchedulerSnapshot snap;
+  std::string note;
+  const bool have_snapshot = service.store_.load_newest(snap, &note);
+  rec.snapshot_loaded = have_snapshot;
+  rec.snapshot_batches = have_snapshot ? snap.batches_applied : 0;
+  rec.note = note;
+
+  JournalReplay replay = replay_journal(service.durability_.journal_path);
+  rec.journal_torn = replay.torn;
+  if (replay.torn) rec.note += "; journal: " + replay.diagnostic;
+
+  // The WAL order (append before apply, snapshot after apply) makes the
+  // snapshot's cursor a prefix of the journal's valid records; anything
+  // else means the files belong to different runs.
+  check_input(rec.snapshot_batches <= replay.next_seq,
+              "recover: snapshot is ahead of the journal (" +
+                  std::to_string(rec.snapshot_batches) + " > " +
+                  std::to_string(replay.next_seq) +
+                  ") — mismatched journal/snapshot files");
+
+  if (have_snapshot)
+    service.scheduler_ =
+        std::make_unique<OnlineScheduler>(base, config, snap);
+  else
+    service.scheduler_ = std::make_unique<OnlineScheduler>(base, config);
+
+  // Replay the journal suffix.  Replayed batches are NOT re-journaled:
+  // they are already durable (that is what makes replay idempotent
+  // across repeated crashes during recovery).
+  for (std::uint32_t seq = rec.snapshot_batches; seq < replay.next_seq;
+       ++seq) {
+    service.scheduler_->step(
+        replay.batches[static_cast<std::size_t>(seq)]);
+    ++rec.replayed;
+  }
+  TS_REQUIRE(service.batches_applied() == replay.next_seq);
+
+  // Truncate the torn tail (if any) and resume appending after it.
+  service.journal_.emplace(
+      Journal::resume(service.durability_.journal_path, replay));
+
+  if (report != nullptr) *report = rec;
+  return service;
+}
+
+bool DurableOnlineService::crash_due(CrashPoint point,
+                                     std::uint32_t batch) const {
+  return durability_.crash.point == point && durability_.crash.batch == batch;
+}
+
+std::size_t DurableOnlineService::torn_prefix(std::size_t image_len) const {
+  // Deterministic strict prefix: everything from an empty write to all
+  // but the last byte, drawn from the plan seed and the crash site.
+  SplitMix64 mix(durability_.crash.seed ^
+                 (static_cast<std::uint64_t>(durability_.crash.batch) << 32));
+  return static_cast<std::size_t>(mix.next() % image_len);
+}
+
+OnlineBatchReport DurableOnlineService::step(const EventBatch& batch) {
+  const std::uint32_t seq = journal_->next_seq();
+  TS_REQUIRE(seq == batches_applied());  // journal and state in lockstep
+
+  if (crash_due(CrashPoint::kMidJournalAppend, seq)) {
+    std::vector<std::uint8_t> image;
+    const std::size_t len = encode_journal_record(batch, seq, image);
+    journal_->append_torn(batch, torn_prefix(len));
+    throw CrashInjected(CrashPoint::kMidJournalAppend, seq);
+  }
+  journal_->append(batch);
+  if (crash_due(CrashPoint::kAfterAppend, seq))
+    throw CrashInjected(CrashPoint::kAfterAppend, seq);
+
+  OnlineBatchReport report = scheduler_->step(batch);
+  if (crash_due(CrashPoint::kAfterApply, seq))
+    throw CrashInjected(CrashPoint::kAfterApply, seq);
+
+  maybe_snapshot();
+  if (crash_due(CrashPoint::kAfterSnapshot, seq))
+    throw CrashInjected(CrashPoint::kAfterSnapshot, seq);
+  return report;
+}
+
+void DurableOnlineService::maybe_snapshot() {
+  if (durability_.snapshot_every <= 0) return;
+  const std::uint32_t applied = batches_applied();
+  if (applied % static_cast<std::uint32_t>(durability_.snapshot_every) != 0)
+    return;
+  const SchedulerSnapshot snap = scheduler_->capture();
+  // The crash fires on the batch that *triggered* the snapshot.
+  if (crash_due(CrashPoint::kMidSnapshotWrite, applied - 1)) {
+    const std::size_t image_len = encode_snapshot(snap).size();
+    store_.write(snap, torn_prefix(image_len));
+    throw CrashInjected(CrashPoint::kMidSnapshotWrite, applied - 1);
+  }
+  store_.write(snap);
+}
+
+}  // namespace treesched

@@ -1,0 +1,133 @@
+// Append-only write-ahead journal of online event batches.
+//
+// The durable half of the online service's WAL discipline: every
+// EventBatch is framed exactly like the PR 8 recovery sublayer —
+//   [u32 crc32 | u32 seq | payload]
+// via the shared io/framing.hpp helpers, appended and flushed *before*
+// the scheduler applies it.  `seq` is the batch's absolute index in the
+// service's event stream, so the journal is also the replay cursor: a
+// snapshot taken after batch k-1 is resumed by replaying the journal
+// suffix with seq >= k.
+//
+// The reader never trusts the file.  Each record's payload is parsed
+// structurally (every count bounds-checked against the remaining bytes
+// before any allocation) to learn the frame extent, then the checksum is
+// verified over exactly those bytes, then the sequence word must be the
+// next expected one.  The first record that fails any of these ends the
+// replay: everything after it is a *torn tail* — the partial flush of a
+// crashed append — reported with a diagnostic and a valid-prefix length
+// the writer truncates before resuming.  A torn or bit-flipped journal
+// is therefore never accepted and never UB (fuzz arms in
+// tests/test_fuzz.cpp drive every truncation prefix and seeded bit
+// flips under the sanitizers).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "online/event_stream.hpp"
+
+namespace treesched {
+
+// --- batch codec -----------------------------------------------------------
+//
+// Payload layout (host byte order, like the wire codec):
+//   f64 time
+//   u32 arrival_count, then per arrival:
+//     i64 key | i32 tenant | i32 u | i32 v | f64 profit | f64 height |
+//     u32 access_count | access_count x i32
+//   u32 departure_count, then departure_count x i64 keys
+
+// Appends the encoding of `batch` to `out`; returns the bytes appended.
+std::size_t encode_event_batch(const EventBatch& batch,
+                               std::vector<std::uint8_t>& out);
+
+// Decodes one batch from buf[offset...], advancing `offset` past it on
+// success.  On any malformed input — truncation anywhere, a count that
+// cannot fit in the remaining bytes, negative counts or endpoints —
+// returns false with `offset` untouched and a diagnostic in *error
+// (when non-null).
+bool decode_event_batch(std::span<const std::uint8_t> buf,
+                        std::size_t& offset, EventBatch& out,
+                        std::string* error = nullptr);
+
+// Appends the full journal record ([crc | seq | batch payload]) for
+// (batch, seq) to `out`; returns the bytes appended.
+std::size_t encode_journal_record(const EventBatch& batch, std::uint32_t seq,
+                                  std::vector<std::uint8_t>& out);
+
+// --- replay ----------------------------------------------------------------
+
+struct JournalReplay {
+  // The decoded batches, in order; batches[i] carries sequence number i.
+  std::vector<EventBatch> batches;
+  // One past the last valid sequence number (== batches.size()).
+  std::uint32_t next_seq = 0;
+  // Length of the valid prefix of the file; everything beyond is torn.
+  std::size_t valid_bytes = 0;
+  // True when trailing bytes were discarded (torn append or corruption).
+  bool torn = false;
+  // Why the tail was rejected (empty when !torn).
+  std::string diagnostic;
+  // False when the journal file does not exist (an empty replay).
+  bool file_exists = false;
+};
+
+// Replays a journal image from memory.  Never throws on bad input: the
+// valid prefix is returned and the tail diagnosed.
+JournalReplay replay_journal_bytes(std::span<const std::uint8_t> bytes);
+
+// Reads and replays the journal at `path`.  A missing file is an empty
+// replay with file_exists == false; an unreadable file throws
+// std::invalid_argument.
+JournalReplay replay_journal(const std::string& path);
+
+// --- writer ----------------------------------------------------------------
+
+// The append side.  Every append() encodes one record and flushes it to
+// the file before returning, so a batch the scheduler has applied is
+// always durable first (the WAL ordering the recovery proof needs).
+class Journal {
+ public:
+  // Opens `path` fresh: truncates any previous content, next record is
+  // seq 0.  Throws std::invalid_argument when the file cannot be opened.
+  static Journal create(const std::string& path);
+
+  // Continues `path` after recovery: truncates the torn tail reported by
+  // `replay` (so the file is exactly replay.valid_bytes long again) and
+  // appends from replay.next_seq.
+  static Journal resume(const std::string& path, const JournalReplay& replay);
+
+  Journal(Journal&&) = default;
+  Journal& operator=(Journal&&) = default;
+
+  // Appends and flushes the record for `batch` at the next sequence
+  // number.  Returns the record's length in bytes.
+  std::size_t append(const EventBatch& batch);
+
+  // Crash simulation: writes only the first `bytes` bytes of the record
+  // (a strict prefix) and flushes — the torn append a crash mid-write
+  // leaves behind.  The sequence number is NOT advanced; the process is
+  // expected to die (throw) right after.
+  void append_torn(const EventBatch& batch, std::size_t bytes);
+
+  std::uint32_t next_seq() const { return next_seq_; }
+  std::int64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Journal(std::string path, std::uint32_t next_seq, std::size_t keep_bytes);
+
+  void write_and_flush(const std::uint8_t* data, std::size_t size);
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint32_t next_seq_ = 0;
+  std::int64_t bytes_written_ = 0;  // appended by this writer
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace treesched

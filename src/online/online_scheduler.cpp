@@ -46,9 +46,9 @@ void combine_classes(const Problem& problem, OnlineSolveArtifacts& out) {
 
 }  // namespace
 
-OnlineScheduler::OnlineScheduler(const Problem& base, OnlineConfig config)
-    : config_(std::move(config)), num_vertices_(base.num_vertices()) {
+void OnlineScheduler::adopt_topology(const Problem& base) {
   TS_REQUIRE(base.finalized());
+  num_vertices_ = base.num_vertices();
   networks_ = base.shared_networks();
   capacities_.resize(static_cast<std::size_t>(base.num_global_edges()));
   for (EdgeId e = 0; e < base.num_global_edges(); ++e)
@@ -56,6 +56,11 @@ OnlineScheduler::OnlineScheduler(const Problem& base, OnlineConfig config)
   decomps_.reserve(networks_->size());
   for (const TreeNetwork& network : *networks_)
     decomps_.push_back(build_decomposition(network, config_.decomp));
+}
+
+OnlineScheduler::OnlineScheduler(const Problem& base, OnlineConfig config)
+    : config_(std::move(config)) {
+  adopt_topology(base);
 
   // The base's demands become permanent residents (negative keys, so the
   // event stream's non-negative keys can never collide).
@@ -82,6 +87,132 @@ OnlineScheduler::OnlineScheduler(const Problem& base, OnlineConfig config)
   OnlineBatchReport ignored;
   refresh_class(wide_, ignored);
   refresh_class(narrow_, ignored);
+}
+
+OnlineScheduler::OnlineScheduler(const Problem& base, OnlineConfig config,
+                                 const SchedulerSnapshot& snap)
+    : config_(std::move(config)) {
+  adopt_topology(base);
+
+  // The snapshot's record list is the full post-churn state — residents
+  // included — so nothing is adopted from the base beyond the topology.
+  records_.reserve(snap.records.size());
+  for (const SnapshotDemandRecord& r : snap.records) {
+    check_input(r.u >= 0 && r.u < num_vertices_ && r.v >= 0 &&
+                    r.v < num_vertices_,
+                "snapshot: record endpoint out of range for this base");
+    check_input(index_of_key_.find(r.key) == index_of_key_.end(),
+                "snapshot: duplicate demand key");
+    DemandRecord rec;
+    rec.u = r.u;
+    rec.v = r.v;
+    rec.profit = r.profit;
+    rec.height = r.height;
+    rec.access = r.access;
+    rec.key = r.key;
+    rec.alive = r.alive;
+    index_of_key_[rec.key] = static_cast<int>(records_.size());
+    records_.push_back(std::move(rec));
+    if (r.alive)
+      ++live_demands_;
+    else
+      ++dead_demands_;
+  }
+  batches_applied_ = static_cast<int>(snap.batches_applied);
+
+  wide_.rule = RaiseRuleKind::kUnit;
+  narrow_.rule = RaiseRuleKind::kNarrow;
+
+  // The materialized problem, the layered plans and (below, per class)
+  // the forests are deterministic functions of the records: recompute
+  // them instead of trusting serialized derived state.
+  rebuild_problem();
+  restore_class(wide_, snap.wide);
+  restore_class(narrow_, snap.narrow);
+}
+
+SchedulerSnapshot OnlineScheduler::capture() const {
+  SchedulerSnapshot snap;
+  snap.batches_applied = static_cast<std::uint32_t>(batches_applied_);
+  snap.records.reserve(records_.size());
+  for (const DemandRecord& rec : records_) {
+    SnapshotDemandRecord r;
+    r.u = rec.u;
+    r.v = rec.v;
+    r.profit = rec.profit;
+    r.height = rec.height;
+    r.access = rec.access;
+    r.key = rec.key;
+    r.alive = rec.alive;
+    snap.records.push_back(std::move(r));
+  }
+  capture_class(wide_, snap.wide);
+  capture_class(narrow_, snap.narrow);
+  return snap;
+}
+
+void OnlineScheduler::capture_class(const ClassState& cls,
+                                    ClassSnapshot& out) const {
+  out.valid = cls.valid;
+  out.set_params(cls.params);
+  out.mask = cls.mask;
+  out.components.clear();
+  if (!cls.valid) return;
+  // Forest component order, so equal states capture to equal bytes (the
+  // cache map's own iteration order is not deterministic).
+  const int comps = cls.forest.components_in_group(0);
+  out.components.reserve(static_cast<std::size_t>(comps));
+  for (int c = 0; c < comps; ++c) {
+    const auto ids = cls.forest.component_ids(0, c);
+    const auto it = cls.cache.find(ids.front());
+    TS_REQUIRE(it != cls.cache.end());
+    const CompCache& cc = it->second;
+    SnapshotComponent sc;
+    sc.members = cc.members;
+    sc.rows = cc.rows;
+    sc.tags = cc.tags;
+    sc.lhs = cc.lhs;
+    sc.lambda = cc.lambda;
+    out.components.push_back(std::move(sc));
+  }
+}
+
+void OnlineScheduler::restore_class(ClassState& cls,
+                                    const ClassSnapshot& snap) {
+  cls.params = snap.params();
+  cls.mask = snap.mask;
+  cls.valid = snap.valid;
+  cls.cache.clear();
+  if (!cls.valid) return;
+  check_input(cls.mask.size() ==
+                  static_cast<std::size_t>(problem_->num_instances()),
+              "snapshot: class mask does not match the rebuilt problem");
+  cls.forest.build(*problem_, forest_plan_, cls.mask);
+  // The caches are installed verbatim, but only after the rebuilt
+  // forest's partition confirms them: every component's member list must
+  // match its cache entry exactly, or the snapshot belongs to a
+  // different problem than the records rebuild.
+  const int comps = cls.forest.components_in_group(0);
+  check_input(static_cast<std::size_t>(comps) == snap.components.size(),
+              "snapshot: component count does not match the rebuilt forest");
+  cls.cache.reserve(static_cast<std::size_t>(comps));
+  for (int c = 0; c < comps; ++c) {
+    const auto ids = cls.forest.component_ids(0, c);
+    const SnapshotComponent& sc = snap.components[static_cast<std::size_t>(c)];
+    check_input(sc.members.size() == ids.size() &&
+                    std::equal(ids.begin(), ids.end(), sc.members.begin()),
+                "snapshot: component members do not match the rebuilt forest");
+    check_input(sc.lhs.size() == sc.members.size() &&
+                    sc.tags.size() == sc.rows.size(),
+                "snapshot: component cache shape mismatch");
+    CompCache cc;
+    cc.members = sc.members;
+    cc.rows = sc.rows;
+    cc.tags = sc.tags;
+    cc.lhs = sc.lhs;
+    cc.lambda = sc.lambda;
+    cls.cache.emplace(cc.members.front(), std::move(cc));
+  }
 }
 
 void OnlineScheduler::rebuild_problem() {

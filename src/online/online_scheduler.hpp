@@ -44,6 +44,7 @@
 #include "framework/two_phase.hpp"
 #include "model/problem.hpp"
 #include "online/event_stream.hpp"
+#include "online/snapshot.hpp"
 
 namespace treesched {
 
@@ -111,6 +112,21 @@ class OnlineScheduler {
   // stream's own initial population arrives via its batch 0).
   OnlineScheduler(const Problem& base, OnlineConfig config);
 
+  // Restores a captured scheduler.  `base` and `config` must be the ones
+  // the captured run was constructed with (the snapshot holds only the
+  // churn state; topology, capacities and policy come from the caller —
+  // basic shape mismatches throw).  The materialized problem, plans and
+  // per-class forests are rebuilt deterministically from the snapshot's
+  // records; the per-component caches are installed verbatim after being
+  // cross-checked against the rebuilt forest's partition.
+  OnlineScheduler(const Problem& base, OnlineConfig config,
+                  const SchedulerSnapshot& snap);
+
+  // Captures the full warm-start state: restoring the capture yields a
+  // scheduler whose assemble() and future step()s are ==-identical to
+  // this one's (tests/test_recovery.cpp pins it).
+  SchedulerSnapshot capture() const;
+
   // Applies one event batch and re-solves the touched components.
   OnlineBatchReport step(const EventBatch& batch);
 
@@ -158,6 +174,9 @@ class OnlineScheduler {
     bool valid = false;  // false => next refresh re-solves everything
   };
 
+  void adopt_topology(const Problem& base);
+  void capture_class(const ClassState& cls, ClassSnapshot& out) const;
+  void restore_class(ClassState& cls, const ClassSnapshot& snap);
   void rebuild_problem();
   void compact();
   // Re-solves the class's touched components against the current

@@ -1,0 +1,171 @@
+// The shared framing layer (io/framing.hpp): CRC-32 pinned to published
+// reference vectors, the scalar put/get helpers' bounds discipline, and
+// the [crc | seq | payload] frame triple — including the proof that the
+// wire transport's frame codec and the shared helpers produce and accept
+// the same bytes, so the journal and the wire cannot silently diverge.
+#include "io/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dist/transport.hpp"
+
+namespace treesched {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// The standard check value for CRC-32/ISO-HDLC plus a few companions —
+// any change to the polynomial, reflection, or init/xor-out breaks one
+// of these.
+TEST(Crc32, ReferenceVectors) {
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes_of("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, SensitiveToEverySingleBitFlip) {
+  const std::vector<std::uint8_t> base = bytes_of("durable journal frame");
+  const std::uint32_t want = crc32(base);
+  for (std::size_t bit = 0; bit < base.size() * 8; ++bit) {
+    std::vector<std::uint8_t> flipped = base;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(flipped), want) << "bit " << bit;
+  }
+}
+
+TEST(Scalars, RoundTripAndBoundsChecks) {
+  std::vector<std::uint8_t> buf;
+  put_u8(buf, 0xAB);
+  put_u32(buf, 0xDEADBEEFu);
+  put_i32(buf, -123456);
+  put_u64(buf, 0x0123456789ABCDEFull);
+  put_i64(buf, -987654321012345ll);
+  put_f64(buf, 3.5e-7);
+  ASSERT_EQ(buf.size(), 1u + 4 + 4 + 8 + 8 + 8);
+
+  std::size_t offset = 0;
+  std::uint8_t u8 = 0;
+  std::uint32_t u32 = 0;
+  std::int32_t i32 = 0;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  ASSERT_TRUE(get_u8(buf, offset, u8));
+  ASSERT_TRUE(get_u32(buf, offset, u32));
+  ASSERT_TRUE(get_i32(buf, offset, i32));
+  ASSERT_TRUE(get_u64(buf, offset, u64));
+  ASSERT_TRUE(get_i64(buf, offset, i64));
+  ASSERT_TRUE(get_f64(buf, offset, f64));
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(i32, -123456);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -987654321012345ll);
+  EXPECT_EQ(f64, 3.5e-7);
+
+  // At the end: every reader refuses and leaves the offset alone.
+  const std::size_t at_end = offset;
+  EXPECT_FALSE(get_u8(buf, offset, u8));
+  EXPECT_FALSE(get_u32(buf, offset, u32));
+  EXPECT_FALSE(get_f64(buf, offset, f64));
+  EXPECT_EQ(offset, at_end);
+  // One byte short of a u32: still refused.
+  offset = buf.size() - 3;
+  EXPECT_FALSE(get_u32(buf, offset, u32));
+  EXPECT_EQ(offset, buf.size() - 3);
+  // Offset beyond the buffer: refused, not UB.
+  offset = buf.size() + 10;
+  EXPECT_FALSE(get_u8(buf, offset, u8));
+}
+
+TEST(CrcFrame, BeginEndVerifyRoundTrip) {
+  std::vector<std::uint8_t> out = bytes_of("prefix");  // frames can append
+  const std::size_t frame_start = begin_crc_frame(out);
+  EXPECT_EQ(frame_start, 6u);
+  put_f64(out, 2.25);
+  put_u32(out, 7);
+  const std::size_t frame_len = end_crc_frame(out, frame_start, 42);
+  EXPECT_EQ(frame_len, kCrcFrameHeaderBytes + 12);
+
+  std::uint32_t seq = 0;
+  std::string error;
+  ASSERT_TRUE(verify_crc_frame(out, frame_start, frame_len, seq, &error))
+      << error;
+  EXPECT_EQ(seq, 42u);
+}
+
+TEST(CrcFrame, RejectsEveryFlipTruncationAndBadLength) {
+  std::vector<std::uint8_t> out;
+  const std::size_t start = begin_crc_frame(out);
+  put_u64(out, 0x1122334455667788ull);
+  const std::size_t frame_len = end_crc_frame(out, start, 3);
+
+  std::uint32_t seq = 0;
+  // Every single-bit flip anywhere in the frame — header included.
+  for (std::size_t bit = 0; bit < out.size() * 8; ++bit) {
+    std::vector<std::uint8_t> flipped = out;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    std::string error;
+    EXPECT_FALSE(verify_crc_frame(flipped, 0, frame_len, seq, &error))
+        << "bit " << bit;
+    EXPECT_FALSE(error.empty()) << "bit " << bit;
+  }
+  // A frame that runs past the buffer, a sub-header length, and an
+  // offset beyond the end are all structural rejects.
+  EXPECT_FALSE(verify_crc_frame(out, 0, frame_len + 1, seq));
+  EXPECT_FALSE(verify_crc_frame(out, 1, frame_len, seq));
+  EXPECT_FALSE(verify_crc_frame(out, 0, kCrcFrameHeaderBytes - 1, seq));
+  EXPECT_FALSE(verify_crc_frame(out, out.size() + 1, frame_len, seq));
+  // A shorter length over the same bytes fails the checksum (the CRC
+  // covers the payload it framed, not whatever prefix is offered).
+  EXPECT_FALSE(verify_crc_frame(out, 0, frame_len - 1, seq));
+}
+
+// The wire transport's encode_frame must produce bytes the shared
+// helpers accept (and agree on seq), and the shared helpers' frames must
+// decode through the wire's decode_frame: one layout, two call sites.
+TEST(CrcFrame, WireFrameCodecSharesTheLayout) {
+  Message m;
+  m.from = 3;
+  m.to = 9;
+  m.tag = 77;
+  m.data = {1.5, -2.25, 1e300};
+
+  std::vector<std::uint8_t> wire;
+  const std::size_t frame_len = encode_frame(m, 123, wire);
+  std::uint32_t seq = 0;
+  std::string error;
+  ASSERT_TRUE(verify_crc_frame(wire, 0, frame_len, seq, &error)) << error;
+  EXPECT_EQ(seq, 123u);
+
+  // Rebuild the same frame with the shared helpers: byte-identical.
+  std::vector<std::uint8_t> shared;
+  const std::size_t start = begin_crc_frame(shared);
+  encode_message(m, shared);
+  end_crc_frame(shared, start, 123);
+  EXPECT_EQ(shared, wire);
+
+  // And the wire decoder accepts the shared-helper frame.
+  std::size_t offset = 0;
+  Message back;
+  ASSERT_TRUE(decode_frame(shared, offset, seq, back, &error)) << error;
+  EXPECT_EQ(offset, frame_len);
+  EXPECT_EQ(seq, 123u);
+  EXPECT_EQ(back.from, m.from);
+  EXPECT_EQ(back.to, m.to);
+  EXPECT_EQ(back.tag, m.tag);
+  EXPECT_EQ(back.data, m.data);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -18,6 +18,10 @@
 #include "dist/scheduler.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "framework/two_phase.hpp"
+#include "online/event_stream.hpp"
+#include "online/journal.hpp"
+#include "online/online_scheduler.hpp"
+#include "online/snapshot.hpp"
 #include "test_util.hpp"
 #include "workload/scenario.hpp"
 #include "workload/tree_gen.hpp"
@@ -633,6 +637,141 @@ TEST(Fuzz, RetransmitExhaustionDegradesGracefullyWithValidCertificate) {
     }
   }
   EXPECT_TRUE(saw_degraded);
+}
+
+// Shared fixture of the durability codec arms: a real event trace and
+// its encoded journal image with per-record boundaries.
+struct JournalImage {
+  std::vector<EventBatch> trace;
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> boundaries;  // boundaries[k] = end of record k-1
+};
+
+JournalImage make_journal_image(std::uint64_t seed) {
+  JournalImage image;
+  image.boundaries.push_back(0);
+  const Problem base =
+      testutil::small_tree_problem(seed, 24, 2, 8, HeightLaw::kBimodal);
+  DemandGenConfig demand_cfg;
+  demand_cfg.heights = HeightLaw::kBimodal;
+  OnlineTrafficSpec traffic;
+  traffic.rate = 5.0;
+  traffic.num_batches = 6;
+  traffic.seed = seed;
+  image.trace = make_event_trace(base, demand_cfg, traffic);
+  for (std::uint32_t b = 0; b < image.trace.size(); ++b) {
+    encode_journal_record(image.trace[b], b, image.bytes);
+    image.boundaries.push_back(image.bytes.size());
+  }
+  return image;
+}
+
+// Replayed batches must be byte-for-byte re-encodable to the original
+// image prefix — the strongest cheap equality (decode is a function of
+// the bytes, so equal bytes means equal batches).
+void require_replay_is_exact_prefix(const JournalImage& image,
+                                    const JournalReplay& replay,
+                                    const std::string& what) {
+  ASSERT_LE(replay.batches.size(), image.trace.size()) << what;
+  std::vector<std::uint8_t> again;
+  for (std::uint32_t b = 0; b < replay.batches.size(); ++b)
+    encode_journal_record(replay.batches[b], b, again);
+  ASSERT_EQ(again.size(), image.boundaries[replay.batches.size()]) << what;
+  ASSERT_EQ(std::memcmp(again.data(), image.bytes.data(), again.size()), 0)
+      << what;
+}
+
+TEST(Fuzz, JournalReplaySurvivesEveryTruncationPrefix) {
+  // Post-hoc truncation at every byte: the replay must return exactly
+  // the longest whole-record prefix, flag the torn tail with a
+  // diagnostic, and never crash or mis-decode (ASan/UBSan in CI).
+  const JournalImage image = make_journal_image(416);
+  for (std::size_t len = 0; len <= image.bytes.size(); ++len) {
+    const JournalReplay replay =
+        replay_journal_bytes({image.bytes.data(), len});
+    const std::string what = "len " + std::to_string(len);
+    require_replay_is_exact_prefix(image, replay, what);
+    ASSERT_EQ(replay.valid_bytes, image.boundaries[replay.batches.size()])
+        << what;
+    const bool at_boundary = replay.valid_bytes == len;
+    ASSERT_EQ(replay.torn, !at_boundary) << what;
+    if (!at_boundary) {
+      ASSERT_FALSE(replay.diagnostic.empty()) << what;
+    }
+  }
+}
+
+TEST(Fuzz, JournalReplayRejectsEveryBitFlip) {
+  // A single flipped bit anywhere in the image: the record containing it
+  // must be rejected by the frame CRC (or the structural parse), ending
+  // the replay exactly there — the accepted prefix is always intact.
+  const JournalImage image = make_journal_image(417);
+  Rng rng(417);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t bit = rng.next_below(image.bytes.size() * 8);
+    std::vector<std::uint8_t> flipped = image.bytes;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const JournalReplay replay =
+        replay_journal_bytes({flipped.data(), flipped.size()});
+    const std::string what = "bit " + std::to_string(bit);
+    // The flip lands in record k: replay accepts exactly records 0..k-1.
+    std::size_t k = 0;
+    while (image.boundaries[k + 1] <= bit / 8) ++k;
+    ASSERT_EQ(replay.batches.size(), k) << what;
+    ASSERT_TRUE(replay.torn) << what;
+    ASSERT_FALSE(replay.diagnostic.empty()) << what;
+    require_replay_is_exact_prefix(image, replay, what);
+  }
+}
+
+TEST(Fuzz, SnapshotCodecRejectsTruncationAndBitFlips) {
+  // The snapshot decoder against a real captured image: every
+  // truncation prefix and every sampled bit flip must be rejected with
+  // a diagnostic — a versioned snapshot is accepted whole or not at all.
+  const Problem base =
+      testutil::small_tree_problem(418, 24, 2, 8, HeightLaw::kBimodal);
+  DemandGenConfig demand_cfg;
+  demand_cfg.heights = HeightLaw::kBimodal;
+  OnlineTrafficSpec traffic;
+  traffic.rate = 6.0;
+  traffic.num_batches = 4;
+  traffic.seed = 418;
+  const std::vector<EventBatch> trace =
+      make_event_trace(base, demand_cfg, traffic);
+  OnlineConfig config;
+  OnlineScheduler scheduler(base, config);
+  for (const EventBatch& batch : trace) scheduler.step(batch);
+  const std::vector<std::uint8_t> image =
+      encode_snapshot(scheduler.capture());
+
+  SchedulerSnapshot out;
+  std::string error;
+  ASSERT_TRUE(decode_snapshot(image, out, &error)) << error;
+
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    error.clear();
+    ASSERT_FALSE(decode_snapshot({image.data(), len}, out, &error))
+        << "len " << len;
+    ASSERT_FALSE(error.empty()) << "len " << len;
+  }
+  Rng rng(418);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t bit = rng.next_below(image.size() * 8);
+    std::vector<std::uint8_t> flipped = image;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    error.clear();
+    ASSERT_FALSE(decode_snapshot(flipped, out, &error)) << "bit " << bit;
+    ASSERT_FALSE(error.empty()) << "bit " << bit;
+  }
+  // Every byte of the header individually flipped, too: magic, version,
+  // seq, total length and the header checksum itself.
+  for (std::size_t byte = 0; byte < 28 && byte < image.size(); ++byte) {
+    std::vector<std::uint8_t> flipped = image;
+    flipped[byte] ^= 0xFF;
+    error.clear();
+    ASSERT_FALSE(decode_snapshot(flipped, out, &error)) << "byte " << byte;
+    ASSERT_FALSE(error.empty()) << "byte " << byte;
+  }
 }
 
 TEST(Fuzz, ExactSolverOnDenseConflicts) {

@@ -48,13 +48,16 @@ inline const std::vector<std::string>& value_flags() {
       "nodes", "threads",
       // solve --algo=online
       "arrivals", "rate", "batches", "interval", "lifetime", "init-pop",
+      // solve --algo=online durability (online/durable_service.hpp)
+      "journal", "snapshot-every", "crash",
   };
   return kFlags;
 }
 
 // Flags that are pure switches (--flag, no value).
 inline const std::vector<std::string>& bool_flags() {
-  static const std::vector<std::string> kFlags = {"ps", "by-class"};
+  static const std::vector<std::string> kFlags = {"ps", "by-class",
+                                                  "recover"};
   return kFlags;
 }
 

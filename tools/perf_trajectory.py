@@ -60,8 +60,12 @@ INFO_SUFFIXES = ("_ms", "_ns", "_per_sec", "_profit", "_share", "_bound",
 # summaries, registry counters) are diagnostics, never gates: they are
 # wall-clock- and sampling-dependent.  Checked BEFORE the gated rules so
 # e.g. a trace_rounds or hist_message_bytes field stays informational
-# despite its gated-looking suffix.
-INFO_PREFIXES = ("trace_", "hist_", "obs_")
+# despite its gated-looking suffix.  The t8 durability bench's
+# recovery_*/snapshot_* fields (replay counts, snapshot cursor, image
+# bytes) are likewise diagnostics of the crash-recovery arm — the one
+# deliberately gated durability metric is journal_bytes, which has no
+# such prefix.
+INFO_PREFIXES = ("trace_", "hist_", "obs_", "recovery_", "snapshot_")
 
 
 def classify(field):

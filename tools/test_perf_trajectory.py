@@ -46,6 +46,19 @@ class ClassifyTest(unittest.TestCase):
                       "trace_worker_busy_ns", "hist_luby_iterations_p50"):
             self.assertEqual(classify(field), "info", field)
 
+    def test_durability_diagnostics_are_informational_never_gating(self):
+        # The t8 recovery bench's snapshot_*/recovery_* fields are
+        # diagnostics (replay counts vary with the snapshot cursor; the
+        # rest is wall clock or image size) — the prefix rule must win
+        # even over gated-looking suffixes.  journal_bytes is the one
+        # durability metric that gates.
+        for field in ("recovery_replayed_with_snapshot",
+                      "recovery_replayed_journal_only",
+                      "recovery_with_snapshot_ms", "snapshot_bytes",
+                      "snapshot_write_ms", "snapshot_batches"):
+            self.assertEqual(classify(field), "info", field)
+        self.assertEqual(classify("journal_bytes"), "gated")
+
     def test_identity_fields_are_keys(self):
         for field in ("seed", "arm", "workload", "n", "instances",
                       "lockstep", "engine", "threads", "forest"):

@@ -17,6 +17,19 @@
 //                 [--arrivals=poisson|bursty|diurnal] [--rate=8]
 //                 [--batches=16] [--interval=1.0] [--lifetime=8.0]
 //                 [--init-pop=0] [--threads=1]
+//                 [--journal=run.wal] [--snapshot-every=4] [--recover]
+//                 [--crash=point=mid-append,batch=3,seed=7]
+//
+// --journal puts the online arm behind the durable service
+// (online/durable_service.hpp): every batch is appended to the
+// write-ahead journal before it is applied, and --snapshot-every=N adds
+// a versioned snapshot of the full scheduler state every N batches.
+// --recover restarts a crashed run from those files (newest valid
+// snapshot + journal suffix; torn tails truncated) and resumes the same
+// seeded trace where it left off.  --crash arms the deterministic
+// crash-injection harness — the process exits 3 at the named point with
+// whatever partial write a kill -9 would have left; unset, the
+// TREESCHED_CRASH environment hook supplies the plan.
 //
 // --algo=online runs the incremental warm-start service (online/): the
 // tree problem's demands become the resident population, a churn trace
@@ -55,6 +68,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "capacity/nonuniform.hpp"
@@ -63,6 +77,7 @@
 #include "exact/branch_and_bound.hpp"
 #include "io/text_io.hpp"
 #include "obs/trace.hpp"
+#include "online/durable_service.hpp"
 #include "online/online_scheduler.hpp"
 #include "seq/sequential.hpp"
 #include "workload/scenario.hpp"
@@ -196,6 +211,12 @@ void report(const Problem& problem, const Solution& solution, double bound,
 
 // The online service arm: replay a churn trace through the incremental
 // scheduler and report sustained throughput, then the final solution.
+// With --journal the replay runs behind the durable service (write-ahead
+// journal + snapshots every --snapshot-every batches); --recover resumes
+// a crashed run from those files and replays only the remaining suffix
+// of the same seeded trace.  --crash arms the deterministic crash
+// harness (exit 3, restartable with --recover) — unset, the
+// TREESCHED_CRASH environment hook decides.
 int cmd_solve_online(const Args& args, const Problem& problem) {
   OnlineTrafficSpec traffic;
   traffic.arrivals = parse_arrivals(args.get("arrivals", "poisson"));
@@ -217,8 +238,75 @@ int cmd_solve_online(const Args& args, const Problem& problem) {
   cfg.solver.threads = static_cast<int>(args.num("threads", 1));
   cfg.decomp = parse_decomp(args.get("decomp", "ideal"));
 
+  for (const char* needs_journal : {"snapshot-every", "crash"}) {
+    if (args.has(needs_journal) && !args.has("journal"))
+      throw UsageError(std::string("flag --") + needs_journal +
+                       " requires --journal=PATH");
+  }
+  if (args.has("recover") && !args.has("journal"))
+    throw UsageError("flag --recover requires --journal=PATH");
+
   const std::vector<EventBatch> trace =
       make_event_trace(problem, demand_cfg, traffic);
+
+  // The durable arm: same trace, same scheduler, behind the journal.
+  if (args.has("journal")) {
+    DurabilityConfig dur;
+    dur.journal_path = args.get("journal", "");
+    dur.snapshot_every = static_cast<int>(args.num("snapshot-every", 0));
+    if (args.has("crash")) dur.crash = parse_crash_plan(args.get("crash", ""));
+    std::int64_t events = 0, solve_ns = 0;
+    try {
+      std::unique_ptr<DurableOnlineService> service;
+      std::size_t resume_at = 0;
+      if (args.has("recover")) {
+        RecoveryReport rec;
+        service = std::make_unique<DurableOnlineService>(
+            DurableOnlineService::recover(problem, cfg, dur, &rec));
+        resume_at = service->batches_applied();
+        std::printf("recovered: %s%s\n", rec.note.c_str(),
+                    rec.journal_torn ? " (torn journal tail truncated)"
+                                     : "");
+        std::printf("recovery: %u batches from snapshot + %u replayed from "
+                    "journal; resuming at batch %zu of %zu\n",
+                    rec.snapshot_batches, rec.replayed, resume_at,
+                    trace.size());
+        check_input(resume_at <= trace.size(),
+                    "recover: journal is ahead of the configured trace "
+                    "(different --batches/--seed than the crashed run?)");
+      } else {
+        service = std::make_unique<DurableOnlineService>(problem, cfg, dur);
+      }
+      for (std::size_t b = resume_at; b < trace.size(); ++b) {
+        const OnlineBatchReport rep = service->step(trace[b]);
+        events += rep.arrivals + rep.departures;
+        solve_ns += rep.solve_ns;
+      }
+      const double seconds = static_cast<double>(solve_ns) / 1e9;
+      std::printf("online (durable): %u batches applied, %lld events; "
+                  "journal %lld bytes at %s\n",
+                  service->batches_applied(),
+                  static_cast<long long>(events),
+                  static_cast<long long>(service->journal_bytes_written()),
+                  dur.journal_path.c_str());
+      if (seconds > 0.0)
+        std::printf("throughput: %.0f events/sec sustained\n",
+                    static_cast<double>(events) / seconds);
+      const OnlineSolveArtifacts art = service->scheduler().assemble();
+      std::printf("final population: %d live demands, lambda %.4f\n",
+                  service->scheduler().live_demands(), art.lambda);
+      report(service->scheduler().problem(), art.solution, 0.0, SolveStats{},
+             args);
+      return 0;
+    } catch (const CrashInjected& crash) {
+      std::fprintf(stderr,
+                   "%s\nrestart with --recover to resume from the journal "
+                   "and newest snapshot\n",
+                   crash.what());
+      return 3;
+    }
+  }
+
   OnlineScheduler scheduler(problem, cfg);
   std::int64_t events = 0, solve_ns = 0, touched = 0, total = 0;
   for (const EventBatch& batch : trace) {
